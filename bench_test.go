@@ -1,0 +1,171 @@
+package authradio_test
+
+// The benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (Section 6), each regenerating the experiment at a reduced
+// preset and reporting the headline quantity as a custom metric. Run
+// the paper-scale presets with `go run ./cmd/rbexp -exp all -full`.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"authradio/internal/core"
+	"authradio/internal/experiment"
+)
+
+func runExperiment(b *testing.B, name string) [][]experiment.Table {
+	b.Helper()
+	runner := experiment.Registry()[name]
+	if runner == nil {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	out := make([][]experiment.Table, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		out = append(out, runner(experiment.Options{Seed: 1}))
+	}
+	return out
+}
+
+// cellFloat parses a numeric prefix of a table cell ("7.7x" -> 7.7).
+func cellFloat(s string) float64 {
+	s = strings.TrimSuffix(strings.TrimSpace(s), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// BenchmarkFig5Crash regenerates Figure 5 (completion % vs deployment
+// density under crash failures, four protocol variants).
+func BenchmarkFig5Crash(b *testing.B) {
+	tables := runExperiment(b, "fig5")
+	t := tables[0][0]
+	// Report the densest cell's NeighborWatchRB completion.
+	b.ReportMetric(cellFloat(t.Rows[len(t.Rows)-1][1]), "completion%")
+}
+
+// BenchmarkJamming regenerates the Section 6.1 jamming experiment
+// (completion delay vs per-jammer budget; the paper reports a linear
+// relationship).
+func BenchmarkJamming(b *testing.B) {
+	tables := runExperiment(b, "jamming")
+	fit := tables[0][1]
+	b.ReportMetric(cellFloat(fit.Rows[0][2]), "r2")
+}
+
+// BenchmarkFig6Lying regenerates Figure 6 (% of delivered messages that
+// are correct vs % of lying devices).
+func BenchmarkFig6Lying(b *testing.B) {
+	tables := runExperiment(b, "fig6")
+	t := tables[0][0]
+	// Correctness of NeighborWatchRB at the highest liar fraction.
+	b.ReportMetric(cellFloat(t.Rows[len(t.Rows)-1][1]), "correct%")
+}
+
+// BenchmarkFig7Density regenerates Figure 7 (max % Byzantine tolerated
+// for >=90% correct delivery, vs density).
+func BenchmarkFig7Density(b *testing.B) {
+	tables := runExperiment(b, "fig7")
+	t := tables[0][0]
+	b.ReportMetric(cellFloat(t.Rows[len(t.Rows)-1][2]), "maxByz%")
+}
+
+// BenchmarkClustered regenerates the Section 6.2 clustered-deployment
+// experiment (the paper reports up to +10% correctness from clustering).
+func BenchmarkClustered(b *testing.B) {
+	tables := runExperiment(b, "clustered")
+	t := tables[0][0]
+	// Correctness delta: clustered-with-liars minus uniform-with-liars.
+	delta := cellFloat(t.Rows[3][3]) - cellFloat(t.Rows[1][3])
+	b.ReportMetric(delta, "clusterGain%")
+}
+
+// BenchmarkMapSize regenerates the Section 6.2 map-size scaling
+// experiment (runtime linear in diameter).
+func BenchmarkMapSize(b *testing.B) {
+	tables := runExperiment(b, "mapsize")
+	fit := tables[0][1]
+	b.ReportMetric(cellFloat(fit.Rows[0][0]), "r2")
+}
+
+// BenchmarkEpidemicComparison regenerates the Section 6.2 epidemic
+// comparison (the paper reports NeighborWatchRB ~7.7x slower).
+func BenchmarkEpidemicComparison(b *testing.B) {
+	tables := runExperiment(b, "epidemic")
+	sum := tables[0][1]
+	b.ReportMetric(cellFloat(sum.Rows[0][0]), "slowdown")
+}
+
+// BenchmarkTheoryBetaD regenerates the Theorem 5 budget-scaling check
+// (time linear in the Byzantine budget).
+func BenchmarkTheoryBetaD(b *testing.B) {
+	tables := runExperiment(b, "theory")
+	fits := tables[0][2]
+	b.ReportMetric(cellFloat(fits.Rows[0][2]), "r2_beta")
+}
+
+// BenchmarkTheoryMsgLen regenerates the Theorem 5 message-length check
+// (time affine in |message|, the log|Sigma| term).
+func BenchmarkTheoryMsgLen(b *testing.B) {
+	tables := runExperiment(b, "theory")
+	fits := tables[0][2]
+	b.ReportMetric(cellFloat(fits.Rows[1][2]), "r2_msglen")
+}
+
+// BenchmarkDualMode regenerates the dual-mode conjecture table
+// (epidemic payload + NeighborWatchRB digest).
+func BenchmarkDualMode(b *testing.B) {
+	tables := runExperiment(b, "dualmode")
+	t := tables[0][0]
+	b.ReportMetric(cellFloat(t.Rows[0][4]), "slowdown")
+}
+
+// BenchmarkSingleBroadcastNW measures one end-to-end NeighborWatchRB
+// broadcast (the library's core operation) for ns/op tracking.
+func BenchmarkSingleBroadcastNW(b *testing.B) {
+	s := experiment.Scenario{
+		Name: "bench", Protocol: core.NeighborWatchRB, Deploy: experiment.GridDeploy,
+		GridW: 9, Range: 2, MsgLen: 4, Seed: 1, MaxRounds: 500_000,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := s.Run(0)
+		if !r.AllComplete {
+			b.Fatal("broadcast incomplete")
+		}
+	}
+}
+
+// BenchmarkSingleBroadcastMP measures one end-to-end MultiPathRB
+// broadcast.
+func BenchmarkSingleBroadcastMP(b *testing.B) {
+	s := experiment.Scenario{
+		Name: "bench", Protocol: core.MultiPathRB, Deploy: experiment.GridDeploy,
+		GridW: 7, Range: 2, MsgLen: 3, T: 1, Seed: 1, MaxRounds: 3_000_000,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := s.Run(0)
+		if !r.AllComplete {
+			b.Fatal("broadcast incomplete")
+		}
+	}
+}
+
+// BenchmarkSingleBroadcastEpidemic measures one end-to-end epidemic
+// flood.
+func BenchmarkSingleBroadcastEpidemic(b *testing.B) {
+	s := experiment.Scenario{
+		Name: "bench", Protocol: core.EpidemicRB, Deploy: experiment.GridDeploy,
+		GridW: 9, Range: 2, MsgLen: 4, Seed: 1, MaxRounds: 500_000,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := s.Run(0)
+		if !r.AllComplete {
+			b.Fatal("flood incomplete")
+		}
+	}
+}

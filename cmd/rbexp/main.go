@@ -1,0 +1,67 @@
+// Command rbexp regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	rbexp -exp fig6              # one experiment, reduced preset
+//	rbexp -exp all -full         # every experiment at paper scale
+//	rbexp -exp jamming -reps 10  # override repetitions
+//
+// Experiments: fig5, jamming, fig6, fig7, clustered, mapsize, epidemic,
+// theory, dualmode (see DESIGN.md for the per-experiment index).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"authradio/internal/experiment"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment name or 'all'")
+		full    = flag.Bool("full", false, "paper-scale parameters (slow)")
+		seed    = flag.Uint64("seed", 1, "root random seed")
+		reps    = flag.Int("reps", 0, "override repetitions per cell (0 = preset)")
+		workers = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		quiet   = flag.Bool("q", false, "suppress per-cell progress")
+	)
+	flag.Parse()
+
+	opt := experiment.Options{
+		Full:    *full,
+		Seed:    *seed,
+		Reps:    *reps,
+		Workers: *workers,
+	}
+	if !*quiet {
+		opt.Progress = os.Stderr
+	}
+
+	reg := experiment.Registry()
+	var names []string
+	if *exp == "all" {
+		names = experiment.Names()
+	} else {
+		if reg[*exp] == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %v\n", *exp, experiment.Names())
+			os.Exit(2)
+		}
+		names = []string{*exp}
+	}
+
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "== running %s (full=%v) ==\n", name, *full)
+		for _, tbl := range reg[name](opt) {
+			if *csv {
+				fmt.Printf("# %s\n", tbl.Title)
+				tbl.CSV(os.Stdout)
+				fmt.Println()
+			} else {
+				tbl.Fprint(os.Stdout)
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Command rbsim runs a single authenticated-broadcast simulation and
+// prints its outcome: completion percentage, correctness, rounds, and
+// broadcast counts — the paper's four measurements.
+//
+// Examples:
+//
+//	rbsim -proto nw -nodes 600 -side 20 -range 4 -liars 0.05
+//	rbsim -proto mp -t 3 -grid 9 -range 2 -msg 0b1011 -msglen 4
+//	rbsim -proto epidemic -nodes 500 -side 20 -range 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"authradio/internal/core"
+	"authradio/internal/experiment"
+	"authradio/internal/metrics"
+	"authradio/internal/radio"
+	"authradio/internal/trace"
+)
+
+func main() {
+	var (
+		proto    = flag.String("proto", "nw", "protocol: nw, nw2, mp, epidemic")
+		nodes    = flag.Int("nodes", 600, "device count (uniform/clustered)")
+		side     = flag.Float64("side", 20, "map side length")
+		grid     = flag.Int("grid", 0, "use a WxW analytical grid instead of a random map")
+		rng      = flag.Float64("range", 4, "broadcast range R")
+		clusters = flag.Int("clusters", 0, "deploy in clusters (0 = uniform)")
+		sigma    = flag.Float64("sigma", 2.5, "cluster spread")
+		msgStr   = flag.String("msg", "0b1011", "message bits (0b... or decimal)")
+		msgLen   = flag.Int("msglen", 4, "message length in bits")
+		t        = flag.Int("t", 3, "MultiPathRB tolerance")
+		liars    = flag.Float64("liars", 0, "fraction of lying devices")
+		jammers  = flag.Float64("jammers", 0, "fraction of jamming devices")
+		crash    = flag.Float64("crash", 0, "fraction of crashed devices")
+		budget   = flag.Int("budget", 0, "per-jammer broadcast budget (0 = unlimited)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		rep      = flag.Int("rep", 0, "repetition index (varies deployment/roles)")
+		maxR     = flag.Uint64("maxrounds", 5_000_000, "round cap")
+		stats    = flag.Bool("stats", false, "print channel statistics (tx by kind, utilisation)")
+		traceN   = flag.Int("trace", 0, "log the first N transmissions to stderr")
+	)
+	flag.Parse()
+
+	var p core.Protocol
+	switch strings.ToLower(*proto) {
+	case "nw", "neighborwatch", "neighborwatchrb":
+		p = core.NeighborWatchRB
+	case "nw2", "2vote":
+		p = core.NeighborWatch2RB
+	case "mp", "multipath", "multipathrb":
+		p = core.MultiPathRB
+	case "epidemic", "flood":
+		p = core.EpidemicRB
+	default:
+		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *proto)
+		os.Exit(2)
+	}
+
+	bits, err := parseBits(*msgStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	s := experiment.Scenario{
+		Name:      "rbsim",
+		Protocol:  p,
+		Deploy:    experiment.Uniform,
+		Nodes:     *nodes,
+		MapSide:   *side,
+		Range:     *rng,
+		MsgBits:   bits,
+		MsgLen:    *msgLen,
+		T:         *t,
+		LiarFrac:  *liars,
+		JamFrac:   *jammers,
+		CrashFrac: *crash,
+		JamBudget: *budget,
+		Seed:      *seed,
+		MaxRounds: *maxR,
+	}
+	if *grid > 0 {
+		s.Deploy = experiment.GridDeploy
+		s.GridW = *grid
+	} else if *clusters > 0 {
+		s.Deploy = experiment.Clustered
+		s.Clusters = *clusters
+		s.Sigma = *sigma
+	}
+
+	res, coll := runScenario(s, *rep, *stats, *traceN)
+	fmt.Printf("protocol:        %v\n", p)
+	fmt.Printf("honest nodes:    %d\n", res.Honest)
+	fmt.Printf("completed:       %d (%.1f%%)\n", res.Complete, 100*res.CompletionFrac())
+	fmt.Printf("correct:         %d (%.1f%% of completed)\n", res.Correct, 100*res.CorrectFrac())
+	fmt.Printf("end round:       %d\n", res.EndRound)
+	fmt.Printf("last completion: %d\n", res.LastCompletion)
+	fmt.Printf("honest tx:       %d\n", res.HonestTx)
+	fmt.Printf("byzantine tx:    %d\n", res.ByzTx)
+	if !res.AllComplete {
+		fmt.Println("note: not all honest nodes completed (disconnected overlay, adversary, or round cap)")
+	}
+	if coll != nil {
+		fmt.Printf("channel:         %s\n", coll)
+	}
+}
+
+// runScenario builds and runs the scenario like Scenario.Run, but with
+// optional channel statistics and tracing attached to the engine.
+func runScenario(s experiment.Scenario, rep int, stats bool, traceN int) (core.Result, *metrics.Collector) {
+	if !stats && traceN == 0 {
+		return s.Run(rep), nil
+	}
+	w, err := s.BuildWorld(rep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var coll *metrics.Collector
+	var hooks []func(uint64, []radio.Tx)
+	if stats {
+		coll = metrics.NewCollector()
+		hooks = append(hooks, coll.Hook())
+	}
+	if traceN > 0 {
+		l := &trace.Logger{W: os.Stderr, Cycle: w.Cycle, MaxLines: traceN}
+		hooks = append(hooks, l.Hook())
+	}
+	w.Eng.OnRound = metrics.Chain(hooks...)
+	maxRounds := s.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 5_000_000
+	}
+	return w.Run(maxRounds), coll
+}
+
+func parseBits(s string) (uint64, error) {
+	if v, ok := strings.CutPrefix(s, "0b"); ok {
+		return strconv.ParseUint(v, 2, 64)
+	}
+	return strconv.ParseUint(s, 0, 64)
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestParseBits(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+		err  bool
+	}{
+		{"0b1011", 0b1011, false},
+		{"0b0", 0, false},
+		{"13", 13, false},
+		{"0x1F", 0x1F, false},
+		{"0b2", 0, true},
+		{"zz", 0, true},
+		{"", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := parseBits(tc.in)
+		if (err != nil) != tc.err {
+			t.Errorf("parseBits(%q) err = %v, want err=%v", tc.in, err, tc.err)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("parseBits(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+// Package authradio is a pure-Go reproduction of "Securing Every Bit:
+// Authenticated Broadcast in Radio Networks" (Alistarh, Gilbert,
+// Guerraoui, Milosevic, Newport — SPAA 2010): non-cryptographic
+// authenticated broadcast for multi-hop radio networks with Byzantine
+// devices, built on carrier sensing and the impossibility of forging
+// silence.
+//
+// The repository contains the complete system the paper describes and
+// evaluates:
+//
+//   - the 2Bit- and 1Hop-Protocols (silence-authenticated single-hop
+//     transfer, internal/proto/twobit and internal/proto/onehop);
+//   - NeighborWatchRB with its 2-voting variant (square meta-nodes
+//     policing each other, internal/proto/nwatch);
+//   - MultiPathRB (optimally resilient COMMIT/HEARD voting,
+//     internal/proto/multipath);
+//   - the unauthenticated epidemic baseline (internal/proto/epidemic);
+//   - a deterministic round-synchronous radio simulator replacing WSNet
+//     (internal/sim, internal/radio), with analytical disk and Friis
+//     free-space channel models;
+//   - TDMA schedules, deployments, adversaries, and the experiment
+//     harness regenerating every figure of the paper's evaluation
+//     (internal/schedule, internal/topo, internal/adversary,
+//     internal/experiment).
+//
+// Start with internal/core (the high-level API), cmd/rbsim and
+// cmd/rbexp (executables), and examples/quickstart. DESIGN.md maps
+// paper sections to modules; EXPERIMENTS.md records paper-vs-measured
+// results. The benchmarks in bench_test.go regenerate each experiment
+// at a reduced preset; `go run ./cmd/rbexp -exp all -full` runs the
+// paper-scale parameters.
+package authradio

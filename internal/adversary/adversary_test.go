@@ -1,0 +1,131 @@
+package adversary
+
+import (
+	"testing"
+
+	"authradio/internal/geom"
+	"authradio/internal/radio"
+	"authradio/internal/schedule"
+	"authradio/internal/sim"
+	"authradio/internal/xrand"
+)
+
+func testCycle() schedule.Cycle { return schedule.Cycle{NumSlots: 10, SlotLen: 6} }
+
+func TestJammerOnlyTargetsVetoRounds(t *testing.T) {
+	j := NewJammer(1, geom.Point{}, testCycle(), 1000, 1.0, xrand.New(1))
+	for r := uint64(0); r < 600; r++ {
+		st := j.Wake(r)
+		_, _, sub := testCycle().At(r)
+		isVeto := sub == 4 || sub == 5
+		if st.Action == sim.Transmit && !isVeto {
+			t.Fatalf("jammer transmitted in non-veto round %d (sub %d)", r, sub)
+		}
+		if st.Action != sim.Transmit && isVeto && j.Budget > 0 {
+			t.Fatalf("prob-1 jammer idle in veto round %d", r)
+		}
+	}
+}
+
+func TestJammerBudgetEnforced(t *testing.T) {
+	j := NewJammer(1, geom.Point{}, testCycle(), 7, 1.0, xrand.New(1))
+	tx := 0
+	r := uint64(0)
+	for !j.Spent() && r < 10000 {
+		st := j.Wake(r)
+		if st.Action == sim.Transmit {
+			tx++
+		}
+		if st.NextWake == sim.NoWake {
+			break
+		}
+		r = st.NextWake
+	}
+	if tx != 7 {
+		t.Fatalf("jammer spent %d broadcasts, budget 7", tx)
+	}
+	if st := j.Wake(r + 1); st.Action == sim.Transmit || st.NextWake != sim.NoWake {
+		t.Fatal("exhausted jammer still active")
+	}
+}
+
+func TestJammerNextTargetSkipsDataRounds(t *testing.T) {
+	j := NewJammer(1, geom.Point{}, testCycle(), 100, 0.0, xrand.New(1))
+	// Waking at sub-round 0 must schedule the next wake at sub-round 4.
+	st := j.Wake(0)
+	_, _, sub := testCycle().At(st.NextWake)
+	if sub != 4 {
+		t.Fatalf("next wake at sub %d, want 4", sub)
+	}
+	// Waking at sub 4 (without transmitting, prob 0) -> next is sub 5.
+	st = j.Wake(4)
+	if st.NextWake != 5 {
+		t.Fatalf("next wake = %d, want 5", st.NextWake)
+	}
+	// Waking at sub 5 -> next slot's sub 4.
+	st = j.Wake(5)
+	if st.NextWake != 10 {
+		t.Fatalf("next wake = %d, want 10", st.NextWake)
+	}
+}
+
+func TestJammerProbability(t *testing.T) {
+	j := NewJammer(1, geom.Point{}, testCycle(), 1<<30, DefaultJamProb, xrand.New(5))
+	tx, targets := 0, 0
+	for r := uint64(0); r < 60000; r++ {
+		if !j.targets(r) {
+			continue
+		}
+		targets++
+		if j.Wake(r).Action == sim.Transmit {
+			tx++
+		}
+	}
+	p := float64(tx) / float64(targets)
+	if p < 0.17 || p > 0.23 {
+		t.Errorf("jam frequency %v, want ~0.2", p)
+	}
+}
+
+func TestJammerAllRoundsMode(t *testing.T) {
+	j := NewJammer(1, geom.Point{}, testCycle(), 1000, 1.0, xrand.New(1))
+	j.VetoOnly = false
+	st := j.Wake(0)
+	if st.Action != sim.Transmit {
+		t.Fatal("all-rounds jammer idle at round 0")
+	}
+	if st.NextWake != 1 {
+		t.Fatalf("all-rounds jammer next wake %d", st.NextWake)
+	}
+}
+
+func TestSpooferBudgetAndFrames(t *testing.T) {
+	s := NewSpoofer(2, geom.Point{X: 1, Y: 2}, 5, 1.0, xrand.New(3))
+	if s.ID() != 2 || s.Pos() != (geom.Point{X: 1, Y: 2}) {
+		t.Fatal("accessors wrong")
+	}
+	tx := 0
+	for r := uint64(0); r < 100; r++ {
+		st := s.Wake(r)
+		if st.Action == sim.Transmit {
+			tx++
+			if st.Frame.PayloadLen != 64 {
+				t.Fatal("spoofer frame malformed")
+			}
+		}
+		if st.NextWake == sim.NoWake {
+			break
+		}
+	}
+	if tx != 5 {
+		t.Fatalf("spoofer spent %d, budget 5", tx)
+	}
+}
+
+func TestJammerAccessors(t *testing.T) {
+	j := NewJammer(9, geom.Point{X: 3, Y: 4}, testCycle(), 1, 0.5, xrand.New(1))
+	if j.ID() != 9 || j.Pos() != (geom.Point{X: 3, Y: 4}) {
+		t.Fatal("accessors wrong")
+	}
+	j.Deliver(0, radio.Silence) // must be a no-op
+}

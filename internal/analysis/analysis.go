@@ -1,0 +1,111 @@
+// Package analysis implements the paper's closed-form bounds, so that
+// configurations can be annotated with the tolerance and running-time
+// guarantees theory promises for them:
+//
+//   - Koo's impossibility bound: no protocol tolerates t >= R(2R+1)/2
+//     Byzantine devices per neighborhood ("reliable broadcast is
+//     impossible if more than 1/4 of a device's neighbors are
+//     Byzantine").
+//   - NeighborWatchRB's guarantee t < ceil(R/2)^2 (one honest device
+//     per square), and the 2-voting variant's t < R^2/2.
+//   - MultiPathRB's optimal t < R(2R+1)/2.
+//   - The Omega(beta*D + log|Sigma|) running-time lower bound and the
+//     protocols' matching upper bound shape.
+//
+// All bounds are stated for the analytical model: the two-dimensional
+// unit grid under the L-infinity metric, where a neighborhood of radius
+// R contains (2R+1)^2 - 1 other devices.
+package analysis
+
+import "math"
+
+// NeighborhoodSize returns the number of other devices inside an
+// L-infinity neighborhood of integer radius r on the unit grid.
+func NeighborhoodSize(r int) int { return (2*r+1)*(2*r+1) - 1 }
+
+// KooBound returns the smallest integer number of Byzantine devices
+// per neighborhood that makes reliable broadcast impossible on the
+// grid: t >= R(2R+1)/2 (Koo, PODC'04), i.e. ceil(R(2R+1)/2).
+// MultiPathRB tolerates everything strictly below it.
+func KooBound(r int) int { return (r*(2*r+1) + 1) / 2 }
+
+// NeighborWatchTolerance returns the number of Byzantine devices per
+// neighborhood NeighborWatchRB provably tolerates: t < ceil(R/2)^2,
+// i.e. the guarantee holds for up to ceil(R/2)^2 - 1 faults ("as long
+// as there is at least one honest node in every square of size
+// ceil(R/2) x ceil(R/2)").
+func NeighborWatchTolerance(r int) int {
+	h := (r + 1) / 2 // ceil(r/2) for integer r
+	return h*h - 1
+}
+
+// TwoVoteTolerance returns the 2-voting variant's tolerance: roughly
+// t < R^2/2.
+func TwoVoteTolerance(r int) int {
+	return int(math.Ceil(float64(r*r)/2)) - 1
+}
+
+// MultiPathTolerance returns MultiPathRB's (optimal) tolerance:
+// t < R(2R+1)/2.
+func MultiPathTolerance(r int) int { return KooBound(r) - 1 }
+
+// ByzantineFractionLimit returns Koo's bound as a fraction of the
+// neighborhood — the paper's "1/4 of a device's neighbors" intuition.
+// It approaches 1/4 as R grows.
+func ByzantineFractionLimit(r int) float64 {
+	return float64(KooBound(r)) / float64(NeighborhoodSize(r))
+}
+
+// RuntimeLowerBound returns the Omega(beta*D + log|Sigma|) lower bound
+// in rounds (up to its constant): no protocol can finish faster than
+// the adversary can jam each hop (beta*D) plus the time to convey the
+// message content (log2 |Sigma| = message bits).
+func RuntimeLowerBound(beta, diameter, msgBits int) int {
+	return beta*diameter + msgBits
+}
+
+// ScheduleSlots returns the size of the square schedule this
+// implementation builds for range r, square side s and carrier-sense
+// range sense: Q^2+1 slots with Q = floor(sense/s)+4 (see
+// schedule.NewSquareGrid). It is O(R^2), matching the paper's
+// "straightforward to build such a schedule of size O(R^2)".
+func ScheduleSlots(r, side, sense float64) int {
+	if sense < r {
+		sense = r
+	}
+	q := int(math.Floor(sense/side)) + 4
+	return q*q + 1
+}
+
+// SquareOccupancy returns the expected number of devices per
+// NeighborWatchRB square for a uniform deployment of the given density
+// (devices per unit area) and square side. The probability that a
+// square is empty — the overlay-percolation failure mode visible at
+// low densities in Figure 5 — is approximately exp(-occupancy).
+func SquareOccupancy(density, side float64) float64 { return density * side * side }
+
+// EmptySquareProb returns the Poisson approximation of the probability
+// that a square contains no device at all.
+func EmptySquareProb(density, side float64) float64 {
+	return math.Exp(-SquareOccupancy(density, side))
+}
+
+// AllByzantineSquareProb returns the Poisson approximation of the
+// probability that a NONEMPTY square contains only Byzantine devices
+// when each device is independently Byzantine with probability p — the
+// quantity that governs NeighborWatchRB's practical resilience in
+// Figure 6: "the probability of success depends only on the
+// probability that in any square containing a corrupt device, there is
+// also an honest device."
+func AllByzantineSquareProb(density, side, p float64) float64 {
+	lam := SquareOccupancy(density, side)
+	if lam <= 0 {
+		return 0
+	}
+	// P(all byz | nonempty) = (e^{-lam(1-p)} - e^{-lam}) / (1 - e^{-lam}):
+	// the square's device count is Poisson(lam); all-Byzantine means the
+	// count of honest devices is zero while the total is nonzero.
+	num := math.Exp(-lam*(1-p)) - math.Exp(-lam)
+	den := 1 - math.Exp(-lam)
+	return num / den
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNeighborhoodSize(t *testing.T) {
+	// R=1: 3x3 block minus self = 8; R=4: 9x9-1 = 80 (the paper's
+	// "approximately 80 neighbors" for the Figure 6 setup).
+	if NeighborhoodSize(1) != 8 {
+		t.Errorf("R=1: %d", NeighborhoodSize(1))
+	}
+	if NeighborhoodSize(4) != 80 {
+		t.Errorf("R=4: %d", NeighborhoodSize(4))
+	}
+}
+
+func TestKooBound(t *testing.T) {
+	// R=4: R(2R+1)/2 = 4*9/2 = 18.
+	if KooBound(4) != 18 {
+		t.Errorf("Koo(4) = %d", KooBound(4))
+	}
+	if KooBound(1) != 2 { // ceil(1*3/2)
+		t.Errorf("Koo(1) = %d", KooBound(1))
+	}
+}
+
+func TestToleranceOrdering(t *testing.T) {
+	// For every radius: NW <= 2vote <= MP < Koo, and MP is exactly
+	// Koo-1 (optimality).
+	for r := 1; r <= 20; r++ {
+		nw := NeighborWatchTolerance(r)
+		tv := TwoVoteTolerance(r)
+		mp := MultiPathTolerance(r)
+		if nw > tv {
+			t.Errorf("R=%d: NW tolerance %d > 2vote %d", r, nw, tv)
+		}
+		if tv > mp && r > 1 {
+			t.Errorf("R=%d: 2vote tolerance %d > MP %d", r, tv, mp)
+		}
+		if mp != KooBound(r)-1 {
+			t.Errorf("R=%d: MP %d not optimal (Koo %d)", r, mp, KooBound(r))
+		}
+	}
+}
+
+func TestToleranceValues(t *testing.T) {
+	// R=4: NW tolerates ceil(4/2)^2-1 = 3; 2vote 8-1 = 7; MP 17.
+	if got := NeighborWatchTolerance(4); got != 3 {
+		t.Errorf("NW(4) = %d", got)
+	}
+	if got := TwoVoteTolerance(4); got != 7 {
+		t.Errorf("2vote(4) = %d", got)
+	}
+	if got := MultiPathTolerance(4); got != 17 {
+		t.Errorf("MP(4) = %d", got)
+	}
+}
+
+func TestByzantineFractionApproachesQuarter(t *testing.T) {
+	// The paper: "reliable broadcast is impossible if more than 1/4 of
+	// a device's neighbors are Byzantine."
+	for r := 1; r <= 50; r++ {
+		f := ByzantineFractionLimit(r)
+		if f < 0.2 || f > 0.3 {
+			t.Errorf("R=%d: fraction %v outside [0.2, 0.3]", r, f)
+		}
+	}
+	if f := ByzantineFractionLimit(50); math.Abs(f-0.25) > 0.005 {
+		t.Errorf("R=50 fraction %v should be ~0.25", f)
+	}
+}
+
+func TestRuntimeLowerBound(t *testing.T) {
+	if RuntimeLowerBound(0, 10, 4) != 4 {
+		t.Error("zero-budget bound should be message length")
+	}
+	if RuntimeLowerBound(5, 10, 4) != 54 {
+		t.Error("beta*D term wrong")
+	}
+}
+
+func TestScheduleSlotsMatchesScheduler(t *testing.T) {
+	// Spot values consistent with schedule.NewSquareGrid's formula.
+	if got := ScheduleSlots(4, 2, 4); got != 6*6+1 {
+		t.Errorf("slots(4,2,4) = %d", got)
+	}
+	if got := ScheduleSlots(4, 4.0/3, 4); got != 7*7+1 {
+		t.Errorf("slots(4,4/3,4) = %d", got)
+	}
+	// sense < r clamps to r.
+	if ScheduleSlots(4, 2, 0) != ScheduleSlots(4, 2, 4) {
+		t.Error("sense clamp missing")
+	}
+	// O(R^2): quadratic growth in sense/side ratio.
+	if ScheduleSlots(8, 1, 8) <= ScheduleSlots(4, 1, 4) {
+		t.Error("slots should grow with range")
+	}
+}
+
+func TestOccupancyAndEmptyProb(t *testing.T) {
+	if SquareOccupancy(1.5, 4.0/3) < 2.6 || SquareOccupancy(1.5, 4.0/3) > 2.7 {
+		t.Errorf("occupancy = %v", SquareOccupancy(1.5, 4.0/3))
+	}
+	if p := EmptySquareProb(1.5, 4.0/3); p < 0.06 || p > 0.08 {
+		t.Errorf("empty prob = %v", p)
+	}
+	// Monotone: denser -> fewer empty squares.
+	if EmptySquareProb(3, 1) >= EmptySquareProb(1, 1) {
+		t.Error("empty prob not decreasing in density")
+	}
+}
+
+func TestAllByzantineSquareProb(t *testing.T) {
+	// p=0: impossible.
+	if got := AllByzantineSquareProb(1.5, 1, 0); got > 1e-12 {
+		t.Errorf("p=0 gives %v", got)
+	}
+	// p=1: every nonempty square is all-Byzantine.
+	if got := AllByzantineSquareProb(1.5, 1, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("p=1 gives %v", got)
+	}
+	// Monotone in p, in [0,1].
+	f := func(a, b float64) bool {
+		pa := math.Mod(math.Abs(a), 1)
+		pb := math.Mod(math.Abs(b), 1)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va := AllByzantineSquareProb(1.5, 1, pa)
+		vb := AllByzantineSquareProb(1.5, 1, pb)
+		return va >= -1e-12 && vb <= 1+1e-12 && va <= vb+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Density helps: at fixed p, denser squares are less likely to be
+	// all-Byzantine — the mechanism behind Figure 7's density scaling.
+	if AllByzantineSquareProb(6, 1, 0.2) >= AllByzantineSquareProb(1, 1, 0.2) {
+		t.Error("density does not reduce all-Byzantine probability")
+	}
+}

@@ -1,0 +1,265 @@
+// Package bitcodec defines the broadcast message representation, the
+// wire encoding of MultiPathRB's SOURCE/COMMIT/HEARD messages as even-
+// length bit frames, and the digest used by the paper's dual-mode
+// conjecture ("a small digest of each message is broadcast using a
+// protocol such as NeighborWatchRB").
+//
+// MultiPathRB messages are tiny by design: "Each SOURCE, COMMIT and
+// HEARD message is of size O(1), consisting of an identifier indicating
+// its type, along with the value of the transmitted bit; the HEARD
+// message also includes the identifier of the node that caused the
+// HEARD message — the identifier can be encoded in O(log R) bits by its
+// relative location from the sender." We encode the cause by its
+// schedule slot (12 bits), which the receiver resolves to a unique
+// nearby device exactly as the paper prescribes: "a node identifies the
+// location of a message's sender based on the slot in the broadcast
+// schedule in which the message has been sent."
+package bitcodec
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Message is a broadcast payload of up to 64 bits; the paper's
+// experiments use 4- and 5-bit messages.
+type Message struct {
+	Bits uint64
+	Len  int
+}
+
+// NewMessage returns a message of the given length, truncating bits
+// beyond len. It panics for len outside (0, 64].
+func NewMessage(bits uint64, length int) Message {
+	if length <= 0 || length > 64 {
+		panic(fmt.Sprintf("bitcodec: message length %d out of range", length))
+	}
+	if length < 64 {
+		bits &= (1 << uint(length)) - 1
+	}
+	return Message{Bits: bits, Len: length}
+}
+
+// Bit returns the i'th bit (0-based, LSB first).
+func (m Message) Bit(i int) bool {
+	if i < 0 || i >= m.Len {
+		panic(fmt.Sprintf("bitcodec: bit index %d out of range [0,%d)", i, m.Len))
+	}
+	return m.Bits&(1<<uint(i)) != 0
+}
+
+// Bools expands the message into a bit slice.
+func (m Message) Bools() []bool {
+	out := make([]bool, m.Len)
+	for i := range out {
+		out[i] = m.Bit(i)
+	}
+	return out
+}
+
+// FromBools packs a bit slice into a Message.
+func FromBools(bits []bool) Message {
+	var v uint64
+	for i, b := range bits {
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return NewMessage(v, len(bits))
+}
+
+// Equal reports whether two messages are identical in length and bits.
+func (m Message) Equal(o Message) bool { return m == o }
+
+// String renders the message LSB-first as '0'/'1' characters.
+func (m Message) String() string {
+	buf := make([]byte, m.Len)
+	for i := 0; i < m.Len; i++ {
+		if m.Bit(i) {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+	}
+	return string(buf)
+}
+
+// Digest compresses the message to dlen bits with FNV-1a. It stands in
+// for the paper's "appropriately chosen digest" in the dual-mode
+// protocol of Sections 1 and 6.2; collision resistance is irrelevant to
+// the timing experiments it supports.
+func (m Message) Digest(dlen int) Message {
+	h := fnv.New64a()
+	var raw [9]byte
+	for i := 0; i < 8; i++ {
+		raw[i] = byte(m.Bits >> uint(8*i))
+	}
+	raw[8] = byte(m.Len)
+	h.Write(raw[:])
+	return NewMessage(h.Sum64(), dlen)
+}
+
+// MsgType labels a MultiPathRB protocol message.
+type MsgType uint8
+
+// MultiPathRB message types (Section 4, Level 2: MultiPathRB).
+const (
+	Source MsgType = iota // ⟨SOURCE, b_i⟩ sent by the source
+	Commit                // ⟨COMMIT, b_i⟩ sent upon committing bit i
+	Heard                 // ⟨HEARD, v, b_i⟩ relayed upon receiving a COMMIT from v
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case Source:
+		return "SOURCE"
+	case Commit:
+		return "COMMIT"
+	case Heard:
+		return "HEARD"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Field widths of the wire encoding.
+const (
+	typeBits  = 2
+	indexBits = 6  // message bit index: messages up to 64 bits
+	valueBits = 1  // the transmitted bit value
+	slotBits  = 12 // schedule slot of a HEARD message's cause
+
+	// ShortFrameLen is the frame length of SOURCE and COMMIT messages:
+	// 2+6+1 = 9 bits padded to the next even length.
+	ShortFrameLen = 10
+	// HeardFrameLen is the frame length of HEARD messages:
+	// 2+6+1+12 = 21 bits padded to the next even length.
+	HeardFrameLen = 22
+
+	// MaxIndex is the largest encodable message bit index.
+	MaxIndex = 1<<indexBits - 1
+	// MaxSlot is the largest encodable schedule slot.
+	MaxSlot = 1<<slotBits - 1
+)
+
+// Msg is a decoded MultiPathRB protocol message.
+type Msg struct {
+	Type      MsgType
+	Index     int  // message bit index
+	Value     bool // bit value
+	CauseSlot int  // schedule slot of the COMMIT sender (Heard only)
+}
+
+// Encode serialises the message into an even-length bit frame suitable
+// for onehop.FrameSender.
+func (m Msg) Encode() []bool {
+	if m.Index < 0 || m.Index > MaxIndex {
+		panic(fmt.Sprintf("bitcodec: index %d out of range", m.Index))
+	}
+	length := ShortFrameLen
+	if m.Type == Heard {
+		if m.CauseSlot < 0 || m.CauseSlot > MaxSlot {
+			panic(fmt.Sprintf("bitcodec: cause slot %d out of range", m.CauseSlot))
+		}
+		length = HeardFrameLen
+	}
+	out := make([]bool, length)
+	w := writer{bits: out}
+	w.put(uint64(m.Type), typeBits)
+	w.put(uint64(m.Index), indexBits)
+	if m.Value {
+		w.put(1, valueBits)
+	} else {
+		w.put(0, valueBits)
+	}
+	if m.Type == Heard {
+		w.put(uint64(m.CauseSlot), slotBits)
+	}
+	return out
+}
+
+// FrameLen is the onehop.FrameReceiver delimiter for this encoding: the
+// frame length becomes known as soon as the 2-bit type prefix has
+// arrived.
+func FrameLen(prefix []bool) (int, bool) {
+	if len(prefix) < typeBits {
+		return 0, false
+	}
+	if typeOf(prefix) == Heard {
+		return HeardFrameLen, true
+	}
+	return ShortFrameLen, true
+}
+
+func typeOf(prefix []bool) MsgType {
+	v := uint8(0)
+	if prefix[0] {
+		v |= 1
+	}
+	if prefix[1] {
+		v |= 2
+	}
+	return MsgType(v)
+}
+
+// Decode parses a frame produced by Encode. It returns an error for
+// frames with an unknown type or wrong length (e.g. assembled from a
+// Byzantine transmission pattern).
+func Decode(frame []bool) (Msg, error) {
+	if len(frame) < typeBits {
+		return Msg{}, fmt.Errorf("bitcodec: frame too short (%d bits)", len(frame))
+	}
+	t := typeOf(frame)
+	want := ShortFrameLen
+	if t == Heard {
+		want = HeardFrameLen
+	}
+	if t != Source && t != Commit && t != Heard {
+		return Msg{}, fmt.Errorf("bitcodec: unknown message type %d", t)
+	}
+	if len(frame) != want {
+		return Msg{}, fmt.Errorf("bitcodec: %v frame has %d bits, want %d", t, len(frame), want)
+	}
+	r := reader{bits: frame}
+	r.skip(typeBits)
+	m := Msg{Type: t}
+	m.Index = int(r.get(indexBits))
+	m.Value = r.get(valueBits) == 1
+	if t == Heard {
+		m.CauseSlot = int(r.get(slotBits))
+	}
+	return m, nil
+}
+
+// writer packs little-endian bit fields into a bool slice.
+type writer struct {
+	bits []bool
+	pos  int
+}
+
+func (w *writer) put(v uint64, n int) {
+	for i := 0; i < n; i++ {
+		w.bits[w.pos] = v&(1<<uint(i)) != 0
+		w.pos++
+	}
+}
+
+// reader unpacks little-endian bit fields from a bool slice.
+type reader struct {
+	bits []bool
+	pos  int
+}
+
+func (r *reader) skip(n int) { r.pos += n }
+
+func (r *reader) get(n int) uint64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		if r.bits[r.pos] {
+			v |= 1 << uint(i)
+		}
+		r.pos++
+	}
+	return v
+}

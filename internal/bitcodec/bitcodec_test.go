@@ -1,0 +1,202 @@
+package bitcodec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageBasics(t *testing.T) {
+	m := NewMessage(0b1011, 4)
+	if m.Len != 4 || m.Bits != 0b1011 {
+		t.Fatalf("message = %+v", m)
+	}
+	wantBits := []bool{true, true, false, true}
+	for i, w := range wantBits {
+		if m.Bit(i) != w {
+			t.Errorf("Bit(%d) = %v", i, m.Bit(i))
+		}
+	}
+	if m.String() != "1101" {
+		t.Errorf("String = %q", m.String())
+	}
+	if got := FromBools(m.Bools()); !got.Equal(m) {
+		t.Errorf("Bools round trip: %+v", got)
+	}
+}
+
+func TestMessageTruncates(t *testing.T) {
+	m := NewMessage(0xFF, 4)
+	if m.Bits != 0xF {
+		t.Errorf("truncation failed: %x", m.Bits)
+	}
+	m = NewMessage(^uint64(0), 64)
+	if m.Bits != ^uint64(0) {
+		t.Errorf("64-bit message mangled")
+	}
+}
+
+func TestMessagePanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewMessage(0, 0) },
+		func() { NewMessage(0, 65) },
+		func() { NewMessage(1, 4).Bit(4) },
+		func() { NewMessage(1, 4).Bit(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDigestProperties(t *testing.T) {
+	m1 := NewMessage(0b10110, 5)
+	m2 := NewMessage(0b10111, 5)
+	d1 := m1.Digest(8)
+	if d1.Len != 8 {
+		t.Fatalf("digest len = %d", d1.Len)
+	}
+	if !m1.Digest(8).Equal(d1) {
+		t.Error("digest not deterministic")
+	}
+	if m2.Digest(8).Equal(d1) {
+		t.Error("adjacent messages collide (possible but FNV should separate these)")
+	}
+	// Same bits, different length => different digest.
+	if NewMessage(0b10110, 6).Digest(8).Equal(d1) {
+		t.Error("length not mixed into digest")
+	}
+}
+
+func TestMsgEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Msg{
+		{Type: Source, Index: 0, Value: false},
+		{Type: Source, Index: 63, Value: true},
+		{Type: Commit, Index: 5, Value: true},
+		{Type: Commit, Index: 62, Value: false},
+		{Type: Heard, Index: 3, Value: true, CauseSlot: 0},
+		{Type: Heard, Index: 1, Value: false, CauseSlot: MaxSlot},
+		{Type: Heard, Index: 63, Value: true, CauseSlot: 1234},
+	}
+	for _, m := range cases {
+		frame := m.Encode()
+		if len(frame)%2 != 0 {
+			t.Fatalf("%+v: odd frame length %d", m, len(frame))
+		}
+		wantLen := ShortFrameLen
+		if m.Type == Heard {
+			wantLen = HeardFrameLen
+		}
+		if len(frame) != wantLen {
+			t.Fatalf("%+v: frame length %d, want %d", m, len(frame), wantLen)
+		}
+		got, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("%+v: decode error %v", m, err)
+		}
+		if got != m {
+			t.Fatalf("round trip: got %+v, want %+v", got, m)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(tRaw uint8, idx uint8, val bool, slot uint16) bool {
+		m := Msg{
+			Type:  MsgType(tRaw % 3),
+			Index: int(idx) % (MaxIndex + 1),
+			Value: val,
+		}
+		if m.Type == Heard {
+			m.CauseSlot = int(slot) % (MaxSlot + 1)
+		}
+		got, err := Decode(m.Encode())
+		return err == nil && got == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameLen(t *testing.T) {
+	if _, known := FrameLen(nil); known {
+		t.Error("length known from empty prefix")
+	}
+	if _, known := FrameLen([]bool{true}); known {
+		t.Error("length known from 1 bit")
+	}
+	m := Msg{Type: Heard, Index: 1, CauseSlot: 7}
+	if l, known := FrameLen(m.Encode()[:2]); !known || l != HeardFrameLen {
+		t.Errorf("heard FrameLen = %d,%v", l, known)
+	}
+	m = Msg{Type: Commit, Index: 1}
+	if l, known := FrameLen(m.Encode()[:2]); !known || l != ShortFrameLen {
+		t.Errorf("commit FrameLen = %d,%v", l, known)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil frame decoded")
+	}
+	if _, err := Decode([]bool{true}); err == nil {
+		t.Error("1-bit frame decoded")
+	}
+	// Unknown type 3 = bits (1,1).
+	bad := make([]bool, ShortFrameLen)
+	bad[0], bad[1] = true, true
+	if _, err := Decode(bad); err == nil {
+		t.Error("unknown type decoded")
+	}
+	// Wrong length for type.
+	short := Msg{Type: Heard, Index: 1}.Encode()[:ShortFrameLen]
+	// Patch type to Heard but truncated length: typeOf(short) is Heard,
+	// so Decode must reject the 10-bit frame.
+	if _, err := Decode(short); err == nil {
+		t.Error("truncated heard frame decoded")
+	}
+	long := append(Msg{Type: Commit, Index: 1}.Encode(), false, false)
+	if _, err := Decode(long); err == nil {
+		t.Error("over-long commit frame decoded")
+	}
+}
+
+func TestEncodePanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { Msg{Type: Source, Index: MaxIndex + 1}.Encode() },
+		func() { Msg{Type: Source, Index: -1}.Encode() },
+		func() { Msg{Type: Heard, Index: 0, CauseSlot: MaxSlot + 1}.Encode() },
+		func() { Msg{Type: Heard, Index: 0, CauseSlot: -1}.Encode() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	for mt, want := range map[MsgType]string{Source: "SOURCE", Commit: "COMMIT", Heard: "HEARD", MsgType(7): "MsgType(7)"} {
+		if mt.String() != want {
+			t.Errorf("MsgType(%d).String() = %q", mt, mt)
+		}
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	m := Msg{Type: Heard, Index: 3, Value: true, CauseSlot: 99}
+	for i := 0; i < b.N; i++ {
+		frame := m.Encode()
+		if _, err := Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,420 @@
+// Package core is the high-level entry point of the library: it wires a
+// deployment, a schedule, a protocol, and an adversary mix into a
+// runnable simulated radio network, and collects the four measurements
+// of the paper's evaluation: "how long the broadcast took to terminate,
+// the percentage of nodes that completed the protocol, the number of
+// broadcasts needed ..., and the percentage of completed nodes that
+// received the correct message."
+//
+// Typical use:
+//
+//	d := topo.Uniform(600, 20, 4, xrand.New(seed))
+//	w, err := core.Build(core.Config{
+//		Deploy:   d,
+//		Protocol: core.NeighborWatchRB,
+//		Msg:      bitcodec.NewMessage(0b1011, 4),
+//	})
+//	res := w.Run(10_000_000)
+//
+// Roles assign per-device behaviour: honest protocol nodes, crashed
+// devices (absent), liars (protocol-specific fake-message propagation)
+// and budgeted jammers.
+package core
+
+import (
+	"fmt"
+
+	"authradio/internal/adversary"
+	"authradio/internal/bitcodec"
+	"authradio/internal/geom"
+	"authradio/internal/proto/epidemic"
+	"authradio/internal/proto/multipath"
+	"authradio/internal/proto/nwatch"
+	"authradio/internal/radio"
+	"authradio/internal/schedule"
+	"authradio/internal/sim"
+	"authradio/internal/topo"
+	"authradio/internal/xrand"
+)
+
+// Protocol selects the broadcast protocol under test.
+type Protocol uint8
+
+// The protocols of the paper's evaluation.
+const (
+	// NeighborWatchRB is the paper's first protocol (Section 4).
+	NeighborWatchRB Protocol = iota
+	// NeighborWatch2RB is the "2-voting" variant, committing bits only
+	// when two distinct neighboring squares deliver them.
+	NeighborWatch2RB
+	// MultiPathRB is the optimally resilient voting protocol.
+	MultiPathRB
+	// EpidemicRB is the unauthenticated flooding baseline.
+	EpidemicRB
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case NeighborWatchRB:
+		return "NeighborWatchRB"
+	case NeighborWatch2RB:
+		return "NeighborWatchRB-2vote"
+	case MultiPathRB:
+		return "MultiPathRB"
+	case EpidemicRB:
+		return "Epidemic"
+	default:
+		return fmt.Sprintf("Protocol(%d)", uint8(p))
+	}
+}
+
+// Role is a device's behaviour in a run.
+type Role uint8
+
+// Device roles.
+const (
+	// Honest devices follow the protocol.
+	Honest Role = iota
+	// Crashed devices take no steps at all (Figure 5's failure model).
+	Crashed
+	// Liar devices run the protocol initialised with a fake message
+	// (Figure 6/7's failure model).
+	Liar
+	// Jammer devices spend a broadcast budget jamming veto rounds
+	// (Section 6.1's jamming model).
+	Jammer
+)
+
+// Config describes one simulated broadcast.
+type Config struct {
+	// Deploy is the device deployment. Required.
+	Deploy *topo.Deployment
+	// Protocol selects the broadcast protocol.
+	Protocol Protocol
+	// Msg is the broadcast payload. Required.
+	Msg bitcodec.Message
+	// FakeMsg is what liars propagate; it defaults to the bitwise
+	// complement of Msg.
+	FakeMsg bitcodec.Message
+	// SourceID is the source device; -1 selects the device closest to
+	// the map center, as in the paper's experiments.
+	SourceID int
+	// Roles assigns per-device behaviour; nil means all honest. The
+	// source must be honest.
+	Roles []Role
+	// T is MultiPathRB's tolerance parameter (ignored otherwise).
+	T int
+	// SquareSide is NeighborWatchRB's square partition side; 0 selects
+	// R/2 under the analytical (L-infinity) metric and R/3 under the
+	// simulation (Euclidean) metric, the paper's two choices.
+	SquareSide float64
+	// JamBudget is each jammer's broadcast budget; 0 means unlimited.
+	JamBudget int
+	// JamProb is the per-veto-round jam probability (default 1/5).
+	JamProb float64
+	// Medium overrides the channel model; nil selects the analytical
+	// disk medium matching the deployment's metric.
+	Medium radio.Medium
+	// Seed drives all run randomness (jammer decisions etc.).
+	Seed uint64
+	// Workers configures engine-internal parallelism (<=1 sequential).
+	Workers int
+	// EpidemicRepeats is how often epidemic holders rebroadcast
+	// (default 1).
+	EpidemicRepeats int
+	// MPHeardCap overrides MultiPathRB's HEARD relay cap per
+	// (bit, value); 0 keeps the default 3(t+1).
+	MPHeardCap int
+}
+
+// Status is the uniform read-only view of a protocol node.
+type Status interface {
+	ID() int
+	IsLiar() bool
+	Complete() bool
+	CompletedAt() uint64
+	CommittedBits() int
+	Message() (bitcodec.Message, bool)
+}
+
+// World is a built, runnable network.
+type World struct {
+	Cfg     Config
+	Eng     *sim.Engine
+	Nodes   map[int]Status // protocol devices (honest + liars), by id
+	Jammers []*adversary.Jammer
+	// Cycle is the schedule cycle in force (for jammers, probing and
+	// reporting).
+	Cycle schedule.Cycle
+	// SlotsUsed is the number of schedule slots.
+	SlotsUsed int
+
+	byzIDs map[int]bool // liars and jammers, for energy accounting
+}
+
+// Build validates cfg and constructs the network.
+func Build(cfg Config) (*World, error) {
+	d := cfg.Deploy
+	if d == nil {
+		return nil, fmt.Errorf("core: nil deployment")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Msg.Len == 0 {
+		return nil, fmt.Errorf("core: empty message")
+	}
+	if cfg.SourceID < 0 {
+		cfg.SourceID = d.CenterNode()
+	}
+	if cfg.SourceID >= d.N() {
+		return nil, fmt.Errorf("core: source id %d out of range", cfg.SourceID)
+	}
+	if cfg.Roles != nil {
+		if len(cfg.Roles) != d.N() {
+			return nil, fmt.Errorf("core: roles length %d != %d devices", len(cfg.Roles), d.N())
+		}
+		if cfg.Roles[cfg.SourceID] != Honest {
+			return nil, fmt.Errorf("core: source device must be honest")
+		}
+	}
+	if cfg.FakeMsg.Len == 0 {
+		cfg.FakeMsg = bitcodec.NewMessage(^cfg.Msg.Bits, cfg.Msg.Len)
+	}
+	if cfg.FakeMsg.Len != cfg.Msg.Len {
+		return nil, fmt.Errorf("core: fake message length %d != message length %d", cfg.FakeMsg.Len, cfg.Msg.Len)
+	}
+	if cfg.JamProb == 0 {
+		cfg.JamProb = adversary.DefaultJamProb
+	}
+	if cfg.EpidemicRepeats == 0 {
+		cfg.EpidemicRepeats = 1
+	}
+	if cfg.Medium == nil {
+		cfg.Medium = &radio.DiskMedium{R: d.R, Metric: d.Metric}
+	}
+	if cfg.SquareSide == 0 {
+		if d.Metric == geom.LInf {
+			cfg.SquareSide = d.R / 2
+		} else {
+			cfg.SquareSide = d.R / 3
+		}
+	}
+
+	role := func(i int) Role {
+		if cfg.Roles == nil {
+			return Honest
+		}
+		return cfg.Roles[i]
+	}
+	active := make([]bool, d.N())
+	for i := range active {
+		active[i] = role(i) == Honest || role(i) == Liar
+	}
+
+	w := &World{
+		Cfg:    cfg,
+		Eng:    sim.NewEngine(cfg.Medium),
+		Nodes:  make(map[int]Status),
+		byzIDs: make(map[int]bool),
+	}
+	w.Eng.Workers = cfg.Workers
+
+	switch cfg.Protocol {
+	case NeighborWatchRB, NeighborWatch2RB:
+		votes := 1
+		if cfg.Protocol == NeighborWatch2RB {
+			votes = 2
+		}
+		g := schedule.NewSquareGrid(d.R, cfg.SquareSide, cfg.Medium.SenseRange())
+		sh := nwatch.NewShared(d, g, cfg.Msg.Len, cfg.SourceID, votes, active)
+		w.Cycle = g.Cycle
+		w.SlotsUsed = g.NumSlots
+		w.Eng.Add(nwatch.NewSource(sh, cfg.Msg), 0)
+		for i := 0; i < d.N(); i++ {
+			if i == cfg.SourceID {
+				continue
+			}
+			switch role(i) {
+			case Honest:
+				n := nwatch.NewNode(sh, i)
+				w.Nodes[i] = n
+				w.Eng.Add(n, 0)
+			case Liar:
+				n := nwatch.NewLiar(sh, i, cfg.FakeMsg)
+				w.Nodes[i] = n
+				w.Eng.Add(n, 0)
+				w.byzIDs[i] = true
+			}
+		}
+	case MultiPathRB:
+		// Same-slot devices and their responders (within R) must be
+		// mutually undetectable: spacing > 2R + sense range.
+		ns := schedule.GreedyNodeSchedule(d, 2*d.R+cfg.Medium.SenseRange(), schedule.SlotLen, true, cfg.SourceID)
+		sh := multipath.NewShared(d, ns, cfg.Msg.Len, cfg.SourceID, cfg.T, active)
+		if cfg.MPHeardCap > 0 {
+			sh.HeardCap = cfg.MPHeardCap
+		}
+		w.Cycle = ns.Cycle
+		w.SlotsUsed = ns.NumSlots
+		w.Eng.Add(multipath.NewSource(sh, cfg.Msg), 0)
+		for i := 0; i < d.N(); i++ {
+			if i == cfg.SourceID {
+				continue
+			}
+			switch role(i) {
+			case Honest:
+				n := multipath.NewNode(sh, i)
+				w.Nodes[i] = n
+				w.Eng.Add(n, 0)
+			case Liar:
+				n := multipath.NewLiar(sh, i, cfg.FakeMsg)
+				w.Nodes[i] = n
+				w.Eng.Add(n, 0)
+				w.byzIDs[i] = true
+			}
+		}
+	case EpidemicRB:
+		// The baseline shares the bit protocols' 6-round MAC slots: one
+		// slot carries the whole message (the paper's modified WSNet MAC
+		// is likewise common to all protocols), keeping the comparison
+		// like-for-like.
+		ns := schedule.GreedyNodeSchedule(d, 2*d.R+cfg.Medium.SenseRange(), schedule.SlotLen, true, cfg.SourceID)
+		sh := epidemic.NewShared(d, ns, cfg.Msg.Len, cfg.SourceID, cfg.EpidemicRepeats)
+		w.Cycle = ns.Cycle
+		w.SlotsUsed = ns.NumSlots
+		for i := 0; i < d.N(); i++ {
+			switch {
+			case i == cfg.SourceID:
+				w.Eng.Add(epidemic.NewSource(sh, cfg.Msg), 0)
+			case role(i) == Honest:
+				n := epidemic.NewNode(sh, i)
+				w.Nodes[i] = n
+				w.Eng.Add(n, 0)
+			case role(i) == Liar:
+				n := epidemic.NewLiar(sh, i, cfg.FakeMsg)
+				w.Nodes[i] = n
+				w.Eng.Add(n, 0)
+				w.byzIDs[i] = true
+			}
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown protocol %v", cfg.Protocol)
+	}
+
+	// Jammers attack whatever slot structure the protocol uses.
+	for i := 0; i < d.N(); i++ {
+		if role(i) != Jammer || i == cfg.SourceID {
+			continue
+		}
+		budget := cfg.JamBudget
+		if budget == 0 {
+			budget = 1 << 30 // effectively unlimited
+		}
+		j := adversary.NewJammer(i, d.Pos[i], w.Cycle, budget, cfg.JamProb,
+			xrand.Derive(cfg.Seed, 0x4A41, uint64(i)))
+		if cfg.Protocol == EpidemicRB {
+			j.VetoOnly = false // 1-round slots have no veto rounds
+		}
+		w.Jammers = append(w.Jammers, j)
+		w.Eng.Add(j, 0)
+		w.byzIDs[i] = true
+	}
+	return w, nil
+}
+
+// HonestDone reports whether every honest node has completed.
+func (w *World) HonestDone() bool {
+	for _, n := range w.Nodes {
+		if !n.IsLiar() && !n.Complete() {
+			return false
+		}
+	}
+	return true
+}
+
+// Result aggregates one run's outcome.
+type Result struct {
+	// EndRound is the round at which the run stopped (completion of
+	// all honest nodes, or the cap).
+	EndRound uint64
+	// Honest is the number of honest protocol nodes (excluding the
+	// source).
+	Honest int
+	// Complete is how many honest nodes delivered a full message.
+	Complete int
+	// Correct is how many of those delivered the true message.
+	Correct int
+	// AllComplete reports Complete == Honest.
+	AllComplete bool
+	// LastCompletion is the largest completion round among complete
+	// honest nodes (the broadcast's finish time when AllComplete).
+	LastCompletion uint64
+	// HonestTx / ByzTx split total transmissions by allegiance
+	// (the source counts as honest).
+	HonestTx, ByzTx uint64
+}
+
+// CompletionFrac returns Complete/Honest in [0,1].
+func (r Result) CompletionFrac() float64 {
+	if r.Honest == 0 {
+		return 0
+	}
+	return float64(r.Complete) / float64(r.Honest)
+}
+
+// CorrectFrac returns Correct/Complete in [0,1] (1 when nothing
+// completed, so that "no deliveries" is not scored as corruption).
+func (r Result) CorrectFrac() float64 {
+	if r.Complete == 0 {
+		return 1
+	}
+	return float64(r.Correct) / float64(r.Complete)
+}
+
+// Run executes until every honest node completes or maxRounds is
+// reached, then summarises.
+func (w *World) Run(maxRounds uint64) Result {
+	poll := w.Cycle.Rounds()
+	if poll == 0 {
+		poll = 1
+	}
+	end := w.Eng.RunUntil(func(uint64) bool { return w.HonestDone() }, poll, maxRounds)
+	return w.Summarize(end)
+}
+
+// Summarize computes the Result at the given end round.
+func (w *World) Summarize(end uint64) Result {
+	res := Result{EndRound: end}
+	for id, n := range w.Nodes {
+		if n.IsLiar() {
+			continue
+		}
+		res.Honest++
+		if !n.Complete() {
+			continue
+		}
+		res.Complete++
+		if m, ok := n.Message(); ok && m.Equal(w.Cfg.Msg) {
+			res.Correct++
+		}
+		if n.CompletedAt() > res.LastCompletion {
+			res.LastCompletion = n.CompletedAt()
+		}
+		_ = id
+	}
+	res.AllComplete = res.Complete == res.Honest
+	for id := range w.Nodes {
+		if w.byzIDs[id] {
+			res.ByzTx += w.Eng.TxCount(id)
+		} else {
+			res.HonestTx += w.Eng.TxCount(id)
+		}
+	}
+	for _, j := range w.Jammers {
+		res.ByzTx += w.Eng.TxCount(j.ID())
+	}
+	res.HonestTx += w.Eng.TxCount(w.Cfg.SourceID)
+	return res
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"authradio/internal/bitcodec"
+	"authradio/internal/radio"
+	"authradio/internal/topo"
+	"authradio/internal/xrand"
+)
+
+func msg4() bitcodec.Message { return bitcodec.NewMessage(0b1011, 4) }
+
+func TestBuildErrors(t *testing.T) {
+	d := topo.Grid(5, 5, 2)
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"nil-deploy", Config{Msg: msg4()}, "nil deployment"},
+		{"empty-msg", Config{Deploy: d}, "empty message"},
+		{"bad-source", Config{Deploy: d, Msg: msg4(), SourceID: 99}, "out of range"},
+		{"bad-roles-len", Config{Deploy: d, Msg: msg4(), SourceID: -1, Roles: []Role{Honest}}, "roles length"},
+		{"byz-source", Config{Deploy: d, Msg: msg4(), SourceID: 0, Roles: func() []Role {
+			r := make([]Role, 25)
+			r[0] = Liar
+			return r
+		}()}, "source device must be honest"},
+		{"fake-len", Config{Deploy: d, Msg: msg4(), SourceID: -1, FakeMsg: bitcodec.NewMessage(1, 2)}, "fake message length"},
+		{"bad-protocol", Config{Deploy: d, Msg: msg4(), SourceID: -1, Protocol: Protocol(9)}, "unknown protocol"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Build(tc.cfg)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestAllProtocolsCleanRun(t *testing.T) {
+	for _, p := range []Protocol{NeighborWatchRB, NeighborWatch2RB, MultiPathRB, EpidemicRB} {
+		t.Run(p.String(), func(t *testing.T) {
+			cfg := Config{
+				Deploy:   topo.Grid(7, 7, 2),
+				Protocol: p,
+				Msg:      bitcodec.NewMessage(0b101, 3),
+				SourceID: -1,
+				T:        1,
+			}
+			w, err := Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := w.Run(3_000_000)
+			if !res.AllComplete {
+				t.Fatalf("%v: %d/%d complete at round %d", p, res.Complete, res.Honest, res.EndRound)
+			}
+			if res.Correct != res.Complete {
+				t.Fatalf("%v: %d wrong deliveries", p, res.Complete-res.Correct)
+			}
+			if res.CompletionFrac() != 1 || res.CorrectFrac() != 1 {
+				t.Errorf("%v: fractions %v %v", p, res.CompletionFrac(), res.CorrectFrac())
+			}
+			if res.HonestTx == 0 {
+				t.Errorf("%v: no honest transmissions recorded", p)
+			}
+			if res.ByzTx != 0 {
+				t.Errorf("%v: phantom Byzantine transmissions %d", p, res.ByzTx)
+			}
+			if res.LastCompletion == 0 || res.LastCompletion > res.EndRound {
+				t.Errorf("%v: completion round %d outside run (end %d)", p, res.LastCompletion, res.EndRound)
+			}
+		})
+	}
+}
+
+func TestRolesMixedRun(t *testing.T) {
+	d := topo.Grid(9, 9, 2)
+	roles := make([]Role, d.N())
+	roles[0] = Liar
+	roles[1] = Crashed
+	roles[8] = Jammer
+	cfg := Config{
+		Deploy:   d,
+		Protocol: NeighborWatchRB,
+		Msg:      msg4(),
+		SourceID: -1,
+		Roles:    roles,
+		// Side-2 squares hold 2x2 grid nodes, so the single liar has
+		// honest square-mates and is vetoed (the t < ⌈R/2⌉² regime).
+		// With side R/2=1 every square is a singleton and one liar is
+		// an all-Byzantine square, which legitimately corrupts its
+		// neighborhood.
+		SquareSide: 2,
+		JamBudget:  10,
+		Seed:       7,
+	}
+	w, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jammers) != 1 {
+		t.Fatalf("jammers built: %d", len(w.Jammers))
+	}
+	if _, ok := w.Nodes[1]; ok {
+		t.Fatal("crashed node instantiated")
+	}
+	res := w.Run(3_000_000)
+	if res.Honest != d.N()-3 /* source, liar, crashed... jammer too */ -1 {
+		// honest nodes = N - source - liar - crashed - jammer
+		t.Fatalf("honest count %d", res.Honest)
+	}
+	if res.Correct != res.Complete {
+		t.Fatalf("mixed adversaries corrupted %d nodes", res.Complete-res.Correct)
+	}
+	if res.ByzTx == 0 {
+		t.Error("Byzantine transmissions not accounted")
+	}
+}
+
+func TestFakeMsgDefaultsToComplement(t *testing.T) {
+	d := topo.Grid(5, 5, 2)
+	w, err := Build(Config{Deploy: d, Protocol: EpidemicRB, Msg: msg4(), SourceID: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bitcodec.NewMessage(^uint64(0b1011), 4)
+	if !w.Cfg.FakeMsg.Equal(want) {
+		t.Errorf("FakeMsg = %v, want %v", w.Cfg.FakeMsg, want)
+	}
+}
+
+func TestFriisMediumRun(t *testing.T) {
+	d := topo.Uniform(150, 12, 3, xrand.New(21))
+	m := radio.NewFriisMedium(d.R, 21)
+	w, err := Build(Config{
+		Deploy:   d,
+		Protocol: NeighborWatchRB,
+		Msg:      bitcodec.NewMessage(0b11, 2),
+		SourceID: -1,
+		Medium:   m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run(2_000_000)
+	// Under the (lossless) Friis medium with capture, most nodes should
+	// complete; authenticity must be absolute.
+	if res.Correct != res.Complete {
+		t.Fatalf("friis run corrupted %d deliveries", res.Complete-res.Correct)
+	}
+	if res.CompletionFrac() < 0.8 {
+		t.Errorf("friis completion %.2f", res.CompletionFrac())
+	}
+}
+
+func TestSquareSideDefaults(t *testing.T) {
+	grid := topo.Grid(5, 5, 2)
+	w, err := Build(Config{Deploy: grid, Protocol: NeighborWatchRB, Msg: msg4(), SourceID: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Cfg.SquareSide != 1 { // R/2
+		t.Errorf("grid square side = %v, want R/2 = 1", w.Cfg.SquareSide)
+	}
+	u := topo.Uniform(50, 10, 3, xrand.New(1))
+	w, err = Build(Config{Deploy: u, Protocol: NeighborWatchRB, Msg: msg4(), SourceID: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Cfg.SquareSide != 1 { // R/3
+		t.Errorf("uniform square side = %v, want R/3 = 1", w.Cfg.SquareSide)
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	for p, want := range map[Protocol]string{
+		NeighborWatchRB: "NeighborWatchRB", NeighborWatch2RB: "NeighborWatchRB-2vote",
+		MultiPathRB: "MultiPathRB", EpidemicRB: "Epidemic", Protocol(9): "Protocol(9)",
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", p, p)
+		}
+	}
+}
+
+func TestResultFracsEdgeCases(t *testing.T) {
+	r := Result{}
+	if r.CompletionFrac() != 0 {
+		t.Error("empty completion frac")
+	}
+	if r.CorrectFrac() != 1 {
+		t.Error("no-deliveries correct frac should be 1")
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	build := func() Result {
+		d := topo.Uniform(80, 10, 3, xrand.New(5))
+		roles := make([]Role, d.N())
+		roles[3] = Jammer
+		w, err := Build(Config{
+			Deploy: d, Protocol: NeighborWatchRB, Msg: msg4(),
+			SourceID: -1, Roles: roles, JamBudget: 20, Seed: 99,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Run(2_000_000)
+	}
+	a := build()
+	b := build()
+	if a != b {
+		t.Fatalf("identical configs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestEngineWorkersPreserveResults(t *testing.T) {
+	// The engine's intra-round parallelism must not change outcomes:
+	// a full protocol run is bit-for-bit identical across worker
+	// counts.
+	build := func(workers int) Result {
+		d := topo.Uniform(200, 14, 3.5, xrand.New(17))
+		roles := make([]Role, d.N())
+		roles[5] = Liar
+		roles[11] = Jammer
+		w, err := Build(Config{
+			Deploy: d, Protocol: NeighborWatchRB, Msg: msg4(),
+			SourceID: -1, Roles: roles, JamBudget: 30, Seed: 4, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Run(2_000_000)
+	}
+	seq := build(1)
+	par := build(8)
+	if seq != par {
+		t.Fatalf("workers changed the outcome:\nseq %+v\npar %+v", seq, par)
+	}
+}
+
+func TestMultiPathUnderJamming(t *testing.T) {
+	// MultiPathRB under budgeted jammers: delayed but never corrupted,
+	// and complete once budgets are spent.
+	d := topo.Grid(7, 7, 2)
+	roles := make([]Role, d.N())
+	roles[3] = Jammer
+	roles[45] = Jammer
+	w, err := Build(Config{
+		Deploy: d, Protocol: MultiPathRB, Msg: bitcodec.NewMessage(0b101, 3),
+		SourceID: -1, Roles: roles, T: 1, JamBudget: 25, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run(5_000_000)
+	if !res.AllComplete {
+		t.Fatalf("MP jammed run incomplete: %d/%d", res.Complete, res.Honest)
+	}
+	if res.Correct != res.Complete {
+		t.Fatalf("MP jamming corrupted %d deliveries", res.Complete-res.Correct)
+	}
+	if res.ByzTx == 0 {
+		t.Fatal("jammers never fired")
+	}
+}
+
+func TestEpidemicJammerUsesAllRounds(t *testing.T) {
+	// Epidemic runs on slots without veto rounds; core must configure
+	// its jammers in all-rounds mode (they would otherwise never
+	// matter and, worse, mis-target).
+	d := topo.Grid(5, 5, 2)
+	roles := make([]Role, d.N())
+	roles[0] = Jammer
+	w, err := Build(Config{
+		Deploy: d, Protocol: EpidemicRB, Msg: msg4(),
+		SourceID: -1, Roles: roles, JamBudget: 50, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jammers) != 1 || w.Jammers[0].VetoOnly {
+		t.Fatal("epidemic jammer not in all-rounds mode")
+	}
+	res := w.Run(100_000)
+	if res.ByzTx == 0 {
+		t.Fatal("epidemic jammer never transmitted")
+	}
+}

@@ -1,0 +1,250 @@
+// Package experiment is the evaluation harness: it turns declarative
+// scenario descriptions into repeated, seeded, parallel simulation runs
+// and aggregates them into the tables and series of the paper's Section
+// 6. One named experiment exists per paper figure or claim; see
+// DESIGN.md for the experiment index.
+package experiment
+
+import (
+	"runtime"
+	"sync"
+
+	"authradio/internal/bitcodec"
+	"authradio/internal/core"
+	"authradio/internal/stats"
+	"authradio/internal/topo"
+	"authradio/internal/xrand"
+)
+
+// DeployKind selects how devices are placed.
+type DeployKind uint8
+
+// Deployment kinds.
+const (
+	// Uniform places devices uniformly at random (most experiments).
+	Uniform DeployKind = iota
+	// Clustered places devices in normal clusters (Section 6.2).
+	Clustered
+	// GridDeploy places devices on the analytical integer grid.
+	GridDeploy
+)
+
+// Scenario declares one experiment cell: a deployment, a protocol, an
+// adversary mix, and a message.
+type Scenario struct {
+	Name     string
+	Protocol core.Protocol
+
+	Deploy   DeployKind
+	Nodes    int     // device count (Uniform/Clustered)
+	MapSide  float64 // map side length
+	GridW    int     // grid width/height (GridDeploy)
+	Range    float64 // broadcast range R
+	Clusters int     // cluster count (Clustered)
+	Sigma    float64 // cluster spread (Clustered)
+
+	MsgBits uint64
+	MsgLen  int
+
+	T          int     // MultiPathRB tolerance
+	MPHeardCap int     // MultiPathRB HEARD relay cap override (0 = default)
+	SquareSide float64 // NeighborWatchRB square side (0 = default)
+
+	LiarFrac  float64
+	CrashFrac float64
+	JamFrac   float64
+	JamBudget int
+	JamProb   float64
+
+	EpidemicRepeats int
+
+	MaxRounds uint64
+	Seed      uint64
+}
+
+// deployment builds the scenario's deployment for one repetition.
+func (s Scenario) deployment(rep int) *topo.Deployment {
+	rng := xrand.Derive(s.Seed, 0xDE9, uint64(rep))
+	switch s.Deploy {
+	case Clustered:
+		return topo.Clustered(s.Nodes, s.Clusters, s.MapSide, s.Sigma, s.Range, rng)
+	case GridDeploy:
+		return topo.Grid(s.GridW, s.GridW, s.Range)
+	default:
+		return topo.Uniform(s.Nodes, s.MapSide, s.Range, rng)
+	}
+}
+
+// roles samples the adversary assignment for one repetition, keeping
+// the source honest.
+func (s Scenario) roles(d *topo.Deployment, src, rep int) []core.Role {
+	if s.LiarFrac == 0 && s.CrashFrac == 0 && s.JamFrac == 0 {
+		return nil
+	}
+	rng := xrand.Derive(s.Seed, 0x401E5, uint64(rep))
+	roles := make([]core.Role, d.N())
+	assign := func(frac float64, r core.Role) {
+		if frac <= 0 {
+			return
+		}
+		want := int(frac*float64(d.N()) + 0.5)
+		for placed := 0; placed < want; {
+			id := rng.Intn(d.N())
+			if id == src || roles[id] != core.Honest {
+				// Resample; fractions are small enough that this
+				// terminates quickly.
+				if countNonHonest(roles) >= d.N()-1 {
+					return
+				}
+				continue
+			}
+			roles[id] = r
+			placed++
+		}
+	}
+	assign(s.LiarFrac, core.Liar)
+	assign(s.JamFrac, core.Jammer)
+	assign(s.CrashFrac, core.Crashed)
+	return roles
+}
+
+func countNonHonest(roles []core.Role) int {
+	c := 0
+	for _, r := range roles {
+		if r != core.Honest {
+			c++
+		}
+	}
+	return c
+}
+
+// Run executes repetition rep of the scenario. Results are a pure
+// function of (Scenario, rep).
+func (s Scenario) Run(rep int) core.Result {
+	w, err := s.BuildWorld(rep)
+	if err != nil {
+		panic("experiment: bad scenario " + s.Name + ": " + err.Error())
+	}
+	maxRounds := s.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 50_000_000
+	}
+	return w.Run(maxRounds)
+}
+
+// BuildWorld constructs (without running) the world for repetition rep,
+// for callers that want to attach hooks or inspect devices.
+func (s Scenario) BuildWorld(rep int) (*core.World, error) {
+	d := s.deployment(rep)
+	src := d.CenterNode()
+	return core.Build(core.Config{
+		Deploy:          d,
+		Protocol:        s.Protocol,
+		Msg:             s.message(),
+		SourceID:        src,
+		Roles:           s.roles(d, src, rep),
+		T:               s.T,
+		MPHeardCap:      s.MPHeardCap,
+		SquareSide:      s.SquareSide,
+		JamBudget:       s.JamBudget,
+		JamProb:         s.JamProb,
+		EpidemicRepeats: s.EpidemicRepeats,
+		Seed:            xrand.Hash64(s.Seed, uint64(rep)),
+	})
+}
+
+// message returns the scenario's broadcast payload, defaulting to the
+// paper's 4-bit message.
+func (s Scenario) message() bitcodec.Message {
+	length := s.MsgLen
+	if length == 0 {
+		length = 4
+	}
+	bits := s.MsgBits
+	if bits == 0 {
+		bits = 0b1011 // an arbitrary fixed pattern with both bit values
+	}
+	return bitcodec.NewMessage(bits, length)
+}
+
+// Repeat runs reps repetitions of the scenario, fanning out across
+// workers goroutines (0 = GOMAXPROCS). Results are ordered by
+// repetition and deterministic regardless of worker count.
+func Repeat(s Scenario, reps, workers int) []core.Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > reps {
+		workers = reps
+	}
+	out := make([]core.Result, reps)
+	var next int
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= reps {
+			return -1
+		}
+		next++
+		return next - 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				rep := take()
+				if rep < 0 {
+					return
+				}
+				out[rep] = s.Run(rep)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Agg summarises a batch of repetitions.
+type Agg struct {
+	CompletionPct stats.Summary // % of honest nodes that completed
+	CorrectPct    stats.Summary // % of completed nodes with the true message
+	EndRound      stats.Summary // rounds until the run stopped
+	// LastCompletion is the broadcast's effective finish time: the
+	// latest completion round among nodes that completed. Unlike
+	// EndRound it is meaningful even when a few devices are
+	// disconnected from the square overlay and the run hits its cap.
+	LastCompletion stats.Summary
+	HonestTx       stats.Summary
+	ByzTx          stats.Summary
+}
+
+// Aggregate computes per-metric summaries (with the paper's outlier
+// trimming) over the results.
+func Aggregate(rs []core.Result) Agg {
+	n := len(rs)
+	completion := make([]float64, n)
+	correct := make([]float64, n)
+	end := make([]float64, n)
+	last := make([]float64, n)
+	htx := make([]float64, n)
+	btx := make([]float64, n)
+	for i, r := range rs {
+		completion[i] = 100 * r.CompletionFrac()
+		correct[i] = 100 * r.CorrectFrac()
+		end[i] = float64(r.EndRound)
+		last[i] = float64(r.LastCompletion)
+		htx[i] = float64(r.HonestTx)
+		btx[i] = float64(r.ByzTx)
+	}
+	return Agg{
+		CompletionPct:  stats.Summarize(completion),
+		CorrectPct:     stats.Summarize(correct),
+		EndRound:       stats.Summarize(end),
+		LastCompletion: stats.Summarize(last),
+		HonestTx:       stats.Summarize(htx),
+		ByzTx:          stats.Summarize(btx),
+	}
+}

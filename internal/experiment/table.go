@@ -1,0 +1,146 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result: the rows the paper's figure or
+// table reports, regenerated.
+type Table struct {
+	Title  string
+	Note   string // provenance / interpretation note
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row, formatting each cell with %v.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "## %s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	rule := make([]string, len(t.Header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Header, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// Options controls the scale of a named experiment.
+type Options struct {
+	// Full selects paper-scale parameters; the default is a reduced
+	// preset that completes in seconds (for tests and benchmarks).
+	Full bool
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Reps overrides the repetition count (0 = preset default).
+	Reps int
+	// Workers bounds run-level parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Progress, if non-nil, receives one line per completed cell.
+	Progress io.Writer
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) reps(quick, full int) int {
+	if o.Reps > 0 {
+		return o.Reps
+	}
+	if o.Full {
+		return full
+	}
+	return quick
+}
+
+func (o Options) progress(format string, args ...interface{}) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// Runner is a named experiment producing one or more tables.
+type Runner func(Options) []Table
+
+// Registry maps experiment names (as accepted by cmd/rbexp) to their
+// runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig5":      Fig5Crash,
+		"jamming":   Jamming,
+		"fig6":      Fig6Lying,
+		"fig7":      Fig7Density,
+		"clustered": ClusteredDeployment,
+		"mapsize":   MapSize,
+		"epidemic":  EpidemicComparison,
+		"theory":    TheoryScaling,
+		"dualmode":  DualMode,
+		"ablation":  Ablation,
+	}
+}
+
+// Names returns the registry keys in a stable order.
+func Names() []string {
+	return []string{"fig5", "jamming", "fig6", "fig7", "clustered", "mapsize", "epidemic", "theory", "dualmode", "ablation"}
+}

@@ -1,0 +1,110 @@
+package geom
+
+import "math"
+
+// Index is a spatial hash over a fixed set of points, supporting fast
+// "all points within distance r of p" queries. It is the workhorse behind
+// neighborhood computation for deployments of thousands of devices.
+//
+// The cell size is chosen at construction; queries may use any radius.
+// An Index is immutable after construction and safe for concurrent reads.
+type Index struct {
+	cell   float64
+	pts    []Point
+	minX   float64
+	minY   float64
+	cols   int
+	rows   int
+	bucket [][]int32 // cell -> point ids
+}
+
+// NewIndex builds a spatial hash over pts with the given cell size.
+// cell should be on the order of the typical query radius.
+func NewIndex(pts []Point, cell float64) *Index {
+	if cell <= 0 {
+		panic("geom: cell size must be positive")
+	}
+	ix := &Index{cell: cell, pts: pts}
+	if len(pts) == 0 {
+		ix.cols, ix.rows = 1, 1
+		ix.bucket = make([][]int32, 1)
+		return ix
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	ix.minX, ix.minY = minX, minY
+	ix.cols = int((maxX-minX)/cell) + 1
+	ix.rows = int((maxY-minY)/cell) + 1
+	ix.bucket = make([][]int32, ix.cols*ix.rows)
+	for i, p := range pts {
+		c := ix.cellOf(p)
+		ix.bucket[c] = append(ix.bucket[c], int32(i))
+	}
+	return ix
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return len(ix.pts) }
+
+// At returns the i'th indexed point.
+func (ix *Index) At(i int) Point { return ix.pts[i] }
+
+func (ix *Index) cellOf(p Point) int {
+	cx := int((p.X - ix.minX) / ix.cell)
+	cy := int((p.Y - ix.minY) / ix.cell)
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cx >= ix.cols {
+		cx = ix.cols - 1
+	}
+	if cy >= ix.rows {
+		cy = ix.rows - 1
+	}
+	return cy*ix.cols + cx
+}
+
+// Within appends to dst the ids of all indexed points q with
+// m.Dist(p, q) <= r, and returns the extended slice. The point p itself
+// is included if it is one of the indexed points. Results are in
+// ascending id order within each visited cell but not globally sorted.
+func (ix *Index) Within(dst []int, p Point, r float64, m Metric) []int {
+	if len(ix.pts) == 0 {
+		return dst
+	}
+	cx0 := int((p.X - r - ix.minX) / ix.cell)
+	cy0 := int((p.Y - r - ix.minY) / ix.cell)
+	cx1 := int((p.X + r - ix.minX) / ix.cell)
+	cy1 := int((p.Y + r - ix.minY) / ix.cell)
+	if cx0 < 0 {
+		cx0 = 0
+	}
+	if cy0 < 0 {
+		cy0 = 0
+	}
+	if cx1 >= ix.cols {
+		cx1 = ix.cols - 1
+	}
+	if cy1 >= ix.rows {
+		cy1 = ix.rows - 1
+	}
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			for _, id := range ix.bucket[cy*ix.cols+cx] {
+				if m.Within(p, ix.pts[id], r) {
+					dst = append(dst, int(id))
+				}
+			}
+		}
+	}
+	return dst
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"authradio/internal/geom"
+	"authradio/internal/radio"
+)
+
+func tx(src int, kind radio.FrameKind) radio.Tx {
+	return radio.Tx{Pos: geom.Point{}, Frame: radio.Frame{Src: src, Kind: kind}}
+}
+
+func TestCollectorCounts(t *testing.T) {
+	c := NewCollector()
+	h := c.Hook()
+	h(1, []radio.Tx{tx(1, radio.KindData), tx(2, radio.KindAck)})
+	h(2, nil)
+	h(3, []radio.Tx{tx(1, radio.KindVeto)})
+	if c.Rounds != 3 || c.ActiveRounds != 2 {
+		t.Errorf("rounds=%d active=%d", c.Rounds, c.ActiveRounds)
+	}
+	if c.TotalTx() != 3 {
+		t.Errorf("total tx = %d", c.TotalTx())
+	}
+	if c.TxByKind[radio.KindData] != 1 || c.TxByKind[radio.KindAck] != 1 || c.TxByKind[radio.KindVeto] != 1 {
+		t.Errorf("kind counts wrong: %v", c.TxByKind)
+	}
+	if c.TxByDevice[1] != 2 || c.TxByDevice[2] != 1 {
+		t.Errorf("device counts wrong: %v", c.TxByDevice)
+	}
+	if c.MaxConcurrent != 2 {
+		t.Errorf("max concurrent = %d", c.MaxConcurrent)
+	}
+	if u := c.Utilisation(); u < 0.66 || u > 0.67 {
+		t.Errorf("utilisation = %v", u)
+	}
+	if f := c.KindFraction(radio.KindData); f < 0.33 || f > 0.34 {
+		t.Errorf("data fraction = %v", f)
+	}
+}
+
+func TestCollectorEmpty(t *testing.T) {
+	c := NewCollector()
+	if c.Utilisation() != 0 || c.TotalTx() != 0 || c.KindFraction(radio.KindJam) != 0 {
+		t.Error("empty collector nonzero")
+	}
+	if got := c.TopTalkers(3); len(got) != 0 {
+		t.Errorf("TopTalkers on empty = %v", got)
+	}
+}
+
+func TestTopTalkers(t *testing.T) {
+	c := NewCollector()
+	h := c.Hook()
+	h(1, []radio.Tx{tx(5, radio.KindData), tx(5, radio.KindData), tx(3, radio.KindData), tx(9, radio.KindData), tx(3, radio.KindData), tx(3, radio.KindAck)})
+	top := c.TopTalkers(2)
+	if len(top) != 2 || top[0] != 3 || top[1] != 5 {
+		t.Errorf("TopTalkers = %v, want [3 5]", top)
+	}
+	all := c.TopTalkers(100)
+	if len(all) != 3 {
+		t.Errorf("TopTalkers(100) = %v", all)
+	}
+	// Deterministic tie-break by id: 5 and 9 with equal counts? 5 has
+	// 2, 9 has 1 — make a tie explicitly.
+	c2 := NewCollector()
+	h2 := c2.Hook()
+	h2(1, []radio.Tx{tx(7, radio.KindData), tx(2, radio.KindData)})
+	tied := c2.TopTalkers(2)
+	if tied[0] != 2 || tied[1] != 7 {
+		t.Errorf("tie-break wrong: %v", tied)
+	}
+}
+
+func TestString(t *testing.T) {
+	c := NewCollector()
+	h := c.Hook()
+	h(1, []radio.Tx{tx(1, radio.KindJam)})
+	s := c.String()
+	for _, want := range []string{"rounds=1", "jam=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestChain(t *testing.T) {
+	var a, b int
+	h := Chain(
+		func(uint64, []radio.Tx) { a++ },
+		nil,
+		func(uint64, []radio.Tx) { b++ },
+	)
+	h(1, nil)
+	h(2, nil)
+	if a != 2 || b != 2 {
+		t.Errorf("chain invoked a=%d b=%d", a, b)
+	}
+}

@@ -1,0 +1,159 @@
+// Package epidemic implements the paper's comparison baseline: "a
+// simple epidemic protocol that provides no resilience to faults or
+// jamming" (Section 6.2). A device that holds the message broadcasts it
+// once, whole, in its next schedule slot; receivers adopt the first
+// message they decode, with no authentication whatsoever. The entire
+// message fits in a single transmission — which is exactly why the
+// baseline is fast and insecure.
+package epidemic
+
+import (
+	"authradio/internal/bitcodec"
+	"authradio/internal/geom"
+	"authradio/internal/radio"
+	"authradio/internal/schedule"
+	"authradio/internal/sim"
+	"authradio/internal/topo"
+)
+
+// Shared is the immutable per-run configuration.
+type Shared struct {
+	D        *topo.Deployment
+	NS       *schedule.NodeSchedule
+	MsgLen   int
+	SourceID int
+	// Repeats is how many times a device broadcasts the message after
+	// adopting it. The baseline uses 1; higher values buy loss
+	// resilience at energy cost (used by the dual-mode example under
+	// lossy media).
+	Repeats int
+}
+
+// NewShared validates and returns a configuration. Any slot length is
+// accepted: with the 6-round MAC slots shared with the bit protocols, a
+// holder transmits the whole message in the first round of its slot;
+// with 1-round slots the baseline is maximally aggressive.
+func NewShared(d *topo.Deployment, ns *schedule.NodeSchedule, msgLen, sourceID, repeats int) *Shared {
+	if msgLen <= 0 || msgLen > 64 {
+		panic("epidemic: message length out of range")
+	}
+	if repeats < 1 {
+		panic("epidemic: repeats must be >= 1")
+	}
+	return &Shared{D: d, NS: ns, MsgLen: msgLen, SourceID: sourceID, Repeats: repeats}
+}
+
+// Node is an epidemic device. The source is a Node preloaded with the
+// message (NewSource); liars are preloaded with a fake message
+// (NewLiar) — with no authentication, whichever message arrives first
+// wins, which is the baseline's vulnerability.
+type Node struct {
+	sh  *Shared
+	id  int
+	pos geom.Point
+
+	msg         bitcodec.Message
+	has         bool
+	liar        bool
+	txLeft      int
+	completedAt uint64
+}
+
+// NewNode builds a (message-less) honest node.
+func NewNode(sh *Shared, id int) *Node {
+	return &Node{sh: sh, id: id, pos: sh.D.Pos[id]}
+}
+
+// NewSource builds the broadcast source.
+func NewSource(sh *Shared, msg bitcodec.Message) *Node {
+	n := NewNode(sh, sh.SourceID)
+	n.adopt(msg, 0)
+	return n
+}
+
+// NewLiar builds a node flooding a fake message from the start.
+func NewLiar(sh *Shared, id int, fake bitcodec.Message) *Node {
+	n := NewNode(sh, id)
+	n.adopt(fake, 0)
+	n.liar = true
+	return n
+}
+
+func (n *Node) adopt(m bitcodec.Message, r uint64) {
+	if m.Len != n.sh.MsgLen {
+		panic("epidemic: message length mismatch")
+	}
+	n.msg = m
+	n.has = true
+	n.txLeft = n.sh.Repeats
+	n.completedAt = r
+}
+
+// ID implements sim.Device.
+func (n *Node) ID() int { return n.id }
+
+// Pos implements sim.Device.
+func (n *Node) Pos() geom.Point { return n.pos }
+
+// IsLiar reports whether this node floods a fake message.
+func (n *Node) IsLiar() bool { return n.liar }
+
+// Complete reports whether the node holds a message.
+func (n *Node) Complete() bool { return n.has }
+
+// CompletedAt returns the adoption round.
+func (n *Node) CompletedAt() uint64 { return n.completedAt }
+
+// CommittedBits returns MsgLen once a message is held, else 0 (epidemic
+// transfers are all-or-nothing).
+func (n *Node) CommittedBits() int {
+	if n.has {
+		return n.sh.MsgLen
+	}
+	return 0
+}
+
+// Message returns the adopted message.
+func (n *Node) Message() (bitcodec.Message, bool) {
+	if !n.has {
+		return bitcodec.Message{}, false
+	}
+	return n.msg, true
+}
+
+// Wake implements sim.Device. Devices without the message listen every
+// round; holders broadcast in their own slots until Repeats is spent,
+// then stop.
+func (n *Node) Wake(r uint64) sim.Step {
+	if !n.has {
+		return sim.Step{Action: sim.Listen, NextWake: r + 1}
+	}
+	if n.txLeft == 0 {
+		return sim.Step{Action: sim.Sleep, NextWake: sim.NoWake}
+	}
+	_, slot, sub := n.sh.NS.At(r)
+	if slot != n.sh.NS.Slot[n.id] || sub != 0 {
+		return sim.Step{Action: sim.Sleep, NextWake: n.sh.NS.NextStart(r+1, n.sh.NS.Slot[n.id])}
+	}
+	n.txLeft--
+	next := n.sh.NS.NextStart(r+1, n.sh.NS.Slot[n.id])
+	if n.txLeft == 0 {
+		next = sim.NoWake
+	}
+	return sim.Step{
+		Action:   sim.Transmit,
+		Frame:    radio.Frame{Kind: radio.KindData, Payload: n.msg.Bits, PayloadLen: uint8(n.msg.Len)},
+		NextWake: next,
+	}
+}
+
+// Deliver implements sim.Device: adopt the first decoded message.
+func (n *Node) Deliver(r uint64, obs radio.Obs) {
+	if n.has || !obs.Decoded || obs.Frame.Kind != radio.KindData {
+		return
+	}
+	if int(obs.Frame.PayloadLen) != n.sh.MsgLen {
+		return
+	}
+	n.adopt(bitcodec.NewMessage(obs.Frame.Payload, n.sh.MsgLen), r)
+}

@@ -1,0 +1,527 @@
+package onehop
+
+import (
+	"testing"
+	"testing/quick"
+
+	"authradio/internal/xrand"
+)
+
+// channel simulates the slot-by-slot interaction between a StreamSender
+// and a set of StreamReceivers, where each slot's 2Bit exchange either
+// succeeds for everyone, or is disrupted. disrupt(slot) returns:
+//
+//	0: clean slot — sender and receivers succeed;
+//	1: full failure — everyone fails (e.g. veto-round jamming);
+//	2: asymmetric — receivers succeed, sender fails (the Byzantine
+//	   R6-only attack, which forces a retransmission).
+//
+// This abstracts the twobit layer (tested exhaustively on its own) to
+// validate the stream discipline: ordering, duplicate suppression and
+// stall handling.
+type channel struct {
+	s       *StreamSender
+	rs      []*StreamReceiver
+	disrupt func(slot int) int
+}
+
+func (c *channel) step(slot int) {
+	mode := 0
+	if c.disrupt != nil {
+		mode = c.disrupt(slot)
+	}
+	p, _, ok := c.s.Current()
+	if ok && mode != 1 {
+		for _, r := range c.rs {
+			r.Accept(p)
+		}
+	}
+	// ok=false means an idle slot: receivers observe an all-silent
+	// exchange which, by Theorem 1, succeeds with pair <0,0>.
+	if !ok && mode != 1 {
+		for _, r := range c.rs {
+			r.Accept(Pair{})
+		}
+	}
+	c.s.SlotDone(mode == 0)
+}
+
+func bitsOf(v uint64, n int) []bool {
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		out[i] = v&(1<<uint(i)) != 0
+	}
+	return out
+}
+
+func eq(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCleanStreamDelivery(t *testing.T) {
+	for msg := uint64(0); msg < 32; msg++ {
+		k := 5
+		s := NewStreamSender(k)
+		for _, b := range bitsOf(msg, k) {
+			s.Append(b)
+		}
+		r := NewStreamReceiver(k)
+		c := &channel{s: s, rs: []*StreamReceiver{r}}
+		for slot := 0; !s.Done(); slot++ {
+			c.step(slot)
+			if slot > 100 {
+				t.Fatal("no progress")
+			}
+		}
+		if !r.Complete() {
+			t.Fatalf("msg %05b: receiver incomplete after sender done", msg)
+		}
+		if !eq(r.Bits(), bitsOf(msg, k)) {
+			t.Fatalf("msg %05b: received %v", msg, r.Bits())
+		}
+	}
+}
+
+func TestCleanDeliveryTakesExactlyKSlots(t *testing.T) {
+	// "the protocol requires 6k rounds to transmit the message in the
+	// absence of malicious interference" — one slot per bit.
+	k := 8
+	s := NewStreamSender(k)
+	for _, b := range bitsOf(0xA5, k) {
+		s.Append(b)
+	}
+	r := NewStreamReceiver(k)
+	c := &channel{s: s, rs: []*StreamReceiver{r}}
+	slots := 0
+	for !s.Done() {
+		c.step(slots)
+		slots++
+	}
+	if slots != k {
+		t.Errorf("clean delivery took %d slots, want %d", slots, k)
+	}
+}
+
+// Theorem 2, Termination: when the sender terminates, every receiver has
+// the message — under arbitrary disruption patterns.
+func TestTheorem2TerminationUnderDisruption(t *testing.T) {
+	f := func(msg uint16, seed uint64) bool {
+		k := 10
+		rng := xrand.New(seed)
+		s := NewStreamSender(k)
+		for _, b := range bitsOf(uint64(msg), k) {
+			s.Append(b)
+		}
+		rs := []*StreamReceiver{NewStreamReceiver(k), NewStreamReceiver(k)}
+		c := &channel{s: s, rs: rs, disrupt: func(int) int {
+			// 30% full failure, 20% asymmetric, 50% clean.
+			v := rng.Float64()
+			switch {
+			case v < 0.3:
+				return 1
+			case v < 0.5:
+				return 2
+			default:
+				return 0
+			}
+		}}
+		for slot := 0; !s.Done(); slot++ {
+			c.step(slot)
+			if slot > 10000 {
+				return false // livelock
+			}
+		}
+		for _, r := range rs {
+			if !r.Complete() || !eq(r.Bits(), bitsOf(uint64(msg), k)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 2, Authenticity: receivers never assemble anything other than
+// a prefix of the sender's stream, whatever the disruption pattern.
+func TestTheorem2AuthenticityPrefix(t *testing.T) {
+	f := func(msg uint16, seed uint64, horizon uint8) bool {
+		k := 12
+		rng := xrand.New(seed)
+		want := bitsOf(uint64(msg), k)
+		s := NewStreamSender(k)
+		for _, b := range want {
+			s.Append(b)
+		}
+		r := NewStreamReceiver(k)
+		c := &channel{s: s, rs: []*StreamReceiver{r}, disrupt: func(int) int {
+			return rng.Intn(3)
+		}}
+		for slot := 0; slot < int(horizon); slot++ {
+			c.step(slot)
+		}
+		got := r.Bits()
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The stall scenario: bits become available slowly (as a square commits
+// them); mid-stream idle slots must not corrupt the stream.
+func TestStallRetransmission(t *testing.T) {
+	k := 6
+	want := bitsOf(0b101100, k)
+	s := NewStreamSender(k)
+	r := NewStreamReceiver(k)
+	c := &channel{s: s, rs: []*StreamReceiver{r}}
+	appended := 0
+	for slot := 0; !s.Done(); slot++ {
+		// Append a new bit only every third slot.
+		if slot%3 == 0 && appended < k {
+			s.Append(want[appended])
+			appended++
+		}
+		c.step(slot)
+		if slot > 200 {
+			t.Fatal("no progress")
+		}
+	}
+	if !eq(r.Bits(), want) {
+		t.Fatalf("received %v, want %v", r.Bits(), want)
+	}
+}
+
+// The specific corruption scenario the stall policy prevents: a stalled
+// square at an even-parity position must not let a silent slot be read
+// as a data-0 bit. Current() must retransmit the previous pair, never
+// report idle, once the stream has started.
+func TestStalledNeverIdleMidStream(t *testing.T) {
+	s := NewStreamSender(4)
+	s.Append(true) // position 0, parity 1
+	p, stalled, ok := s.Current()
+	if !ok || stalled || p != (Pair{B1: true, B2: true}) {
+		t.Fatalf("first pair = %+v stalled=%v ok=%v", p, stalled, ok)
+	}
+	s.SlotDone(true) // position 0 delivered; position 1 not appended yet
+	p, stalled, ok = s.Current()
+	if !ok {
+		t.Fatal("mid-stream stalled sender reported idle; silent slot would decode as data 0")
+	}
+	if !stalled || p != (Pair{B1: true, B2: true}) {
+		t.Fatalf("stalled pair = %+v stalled=%v, want retransmission of (1,1)", p, stalled)
+	}
+	// A successful retransmission must NOT advance the stream.
+	s.SlotDone(true)
+	if s.Delivered() != 1 {
+		t.Fatalf("retransmission advanced the stream to %d", s.Delivered())
+	}
+}
+
+func TestPreStreamIdle(t *testing.T) {
+	s := NewStreamSender(3)
+	if _, _, ok := s.Current(); ok {
+		t.Fatal("sender with no bits should be idle")
+	}
+	r := NewStreamReceiver(3)
+	// Idle slots deliver <0,0>; the receiver must reject them at
+	// position 0 (expected parity 1).
+	if r.Accept(Pair{}) {
+		t.Fatal("receiver accepted all-silence as first bit")
+	}
+	if r.Received() != 0 {
+		t.Fatal("state advanced")
+	}
+}
+
+func TestReceiverRejectsWrongParity(t *testing.T) {
+	r := NewStreamReceiver(4)
+	if !r.Accept(Pair{B1: true, B2: true}) {
+		t.Fatal("first bit rejected")
+	}
+	// Retransmission of position 0 (parity 1) while expecting
+	// position 1 (parity 0): must be discarded.
+	if r.Accept(Pair{B1: true, B2: true}) {
+		t.Fatal("duplicate accepted")
+	}
+	// Position 1 with correct parity 0, data 1.
+	if !r.Accept(Pair{B1: false, B2: true}) {
+		t.Fatal("second bit rejected")
+	}
+	// All-silence at position 2 (parity 1 expected): rejected.
+	if r.Accept(Pair{}) {
+		t.Fatal("silence accepted at odd position")
+	}
+	if got := r.Bits(); !eq(got, []bool{true, true}) {
+		t.Fatalf("bits = %v", got)
+	}
+}
+
+func TestReceiverAcceptsSilentEvenBit(t *testing.T) {
+	// Position 1 (parity 0) with data 0 is the all-silent pair; it is a
+	// legitimate transmission (the stall policy makes it unambiguous).
+	r := NewStreamReceiver(2)
+	r.Accept(Pair{B1: true, B2: false})
+	if !r.Accept(Pair{}) {
+		t.Fatal("silent even bit rejected")
+	}
+	if !r.Complete() || r.Bits()[1] != false {
+		t.Fatal("stream wrong")
+	}
+}
+
+func TestReceiverStopsAtTotal(t *testing.T) {
+	r := NewStreamReceiver(1)
+	if !r.Accept(Pair{B1: true, B2: true}) {
+		t.Fatal("bit rejected")
+	}
+	if r.Accept(Pair{B1: false, B2: true}) {
+		t.Fatal("accepted beyond total")
+	}
+}
+
+func TestStreamPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewStreamSender(0) },
+		func() { NewStreamReceiver(0) },
+		func() { s := NewStreamSender(1); s.Append(true); s.Append(true) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// --- Frame discipline ---
+
+// frameLenOf is a test delimiter: first bit 0 -> frame length 4,
+// first bit 1 -> frame length 6.
+func frameLenOf(prefix []bool) (int, bool) {
+	if len(prefix) == 0 {
+		return 0, false
+	}
+	if prefix[0] {
+		return 6, true
+	}
+	return 4, true
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	s := NewFrameSender()
+	f1 := []bool{true, false, true, true, false, false}
+	f2 := []bool{false, true, true, false}
+	s.Enqueue(f1)
+	s.Enqueue(f2)
+	r := NewFrameReceiver(frameLenOf)
+	var got [][]bool
+	for slot := 0; !s.Idle(); slot++ {
+		p, ok := s.Current()
+		if !ok {
+			t.Fatal("sender idle with queued frames")
+		}
+		if frame, done := r.Accept(p); done {
+			got = append(got, frame)
+		}
+		s.SlotDone(true)
+		if slot > 100 {
+			t.Fatal("no progress")
+		}
+	}
+	if len(got) != 2 || !eq(got[0], f1) || !eq(got[1], f2) {
+		t.Fatalf("got frames %v", got)
+	}
+}
+
+func TestFrameIdleGapsIgnored(t *testing.T) {
+	r := NewFrameReceiver(frameLenOf)
+	// Idle gap: all-silent exchanges must not start a frame.
+	for i := 0; i < 5; i++ {
+		if _, done := r.Accept(Pair{}); done || r.Pending() != 0 {
+			t.Fatal("idle slot advanced frame state")
+		}
+	}
+}
+
+func TestFrameRetransmissionAcrossBoundary(t *testing.T) {
+	// Receiver completes a frame; sender retransmits the frame's final
+	// bit (it did not see the success). Final position of an
+	// even-length frame has parity 0, so the receiver — now expecting
+	// parity 1 — must discard it.
+	r := NewFrameReceiver(frameLenOf)
+	f := []bool{false, true, true, false}
+	pairs := []Pair{{true, false}, {false, true}, {true, true}, {false, false}}
+	for i, p := range pairs {
+		frame, done := r.Accept(p)
+		if i == 3 {
+			if !done || !eq(frame, f) {
+				t.Fatalf("frame not completed: %v %v", frame, done)
+			}
+		} else if done {
+			t.Fatal("premature completion")
+		}
+	}
+	// Retransmission of the final pair.
+	if _, done := r.Accept(Pair{false, false}); done || r.Pending() != 0 {
+		t.Fatal("retransmitted final bit corrupted next frame")
+	}
+	// A fresh frame still parses.
+	for i, p := range []Pair{{true, false}, {false, false}, {true, false}, {false, true}} {
+		frame, done := r.Accept(p)
+		if i == 3 && (!done || !eq(frame, []bool{false, false, false, true})) {
+			t.Fatalf("second frame wrong: %v", frame)
+		}
+	}
+}
+
+func TestFrameMidFrameRetransmission(t *testing.T) {
+	s := NewFrameSender()
+	s.Enqueue([]bool{true, true, false, false, true, false})
+	r := NewFrameReceiver(frameLenOf)
+	rng := xrand.New(77)
+	var got [][]bool
+	for slot := 0; !s.Idle(); slot++ {
+		p, _ := s.Current()
+		mode := rng.Intn(3) // 0 clean, 1 full fail, 2 rx-only success
+		if mode != 1 {
+			if frame, done := r.Accept(p); done {
+				got = append(got, frame)
+			}
+		}
+		s.SlotDone(mode == 0)
+		if slot > 1000 {
+			t.Fatal("no progress")
+		}
+	}
+	if len(got) != 1 || !eq(got[0], []bool{true, true, false, false, true, false}) {
+		t.Fatalf("frames: %v", got)
+	}
+}
+
+func TestFrameSenderPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewFrameSender().Enqueue(nil) },
+		func() { NewFrameSender().Enqueue([]bool{true}) },
+		func() { NewFrameSender().Enqueue([]bool{true, false, true}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFrameSenderQueueLen(t *testing.T) {
+	s := NewFrameSender()
+	if s.QueueLen() != 0 || !s.Idle() {
+		t.Fatal("new sender not idle")
+	}
+	s.Enqueue([]bool{true, false})
+	s.Enqueue([]bool{false, true})
+	if s.QueueLen() != 2 {
+		t.Fatal("queue len wrong")
+	}
+	s.SlotDone(true)
+	s.SlotDone(true)
+	if s.QueueLen() != 1 {
+		t.Fatalf("queue len after first frame = %d", s.QueueLen())
+	}
+	// SlotDone on failure never advances.
+	s.SlotDone(false)
+	p, ok := s.Current()
+	if !ok || p.B1 != true {
+		t.Fatal("failure advanced frame position")
+	}
+}
+
+// Property: a random frame sequence over a lossy channel arrives intact
+// and in order.
+func TestQuickFrameSequence(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := xrand.New(seed)
+		count := 1 + int(n%5)
+		s := NewFrameSender()
+		var want [][]bool
+		for i := 0; i < count; i++ {
+			length := 4
+			first := rng.Bool(0.5)
+			if first {
+				length = 6
+			}
+			fr := make([]bool, length)
+			fr[0] = first
+			for j := 1; j < length; j++ {
+				fr[j] = rng.Bool(0.5)
+			}
+			want = append(want, fr)
+			s.Enqueue(fr)
+		}
+		r := NewFrameReceiver(frameLenOf)
+		var got [][]bool
+		for slot := 0; !s.Idle(); slot++ {
+			if slot > 5000 {
+				return false
+			}
+			p, _ := s.Current()
+			mode := rng.Intn(4) // 0,3 clean; 1 fail; 2 rx-only
+			if mode != 1 {
+				if frame, done := r.Accept(p); done {
+					got = append(got, frame)
+				}
+			}
+			s.SlotDone(mode != 1 && mode != 2)
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if !eq(got[i], want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkStreamDelivery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewStreamSender(32)
+		for j := 0; j < 32; j++ {
+			s.Append(j%3 == 0)
+		}
+		r := NewStreamReceiver(32)
+		for !s.Done() {
+			p, _, ok := s.Current()
+			if ok {
+				r.Accept(p)
+			}
+			s.SlotDone(true)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package radio
+
+import (
+	"testing"
+	"testing/quick"
+
+	"authradio/internal/geom"
+)
+
+func tx(x, y float64, src int) Tx {
+	return Tx{Pos: geom.Point{X: x, Y: y}, Frame: Frame{Kind: KindData, Src: src}}
+}
+
+func TestDiskSilence(t *testing.T) {
+	m := &DiskMedium{R: 2, Metric: geom.LInf}
+	o := m.Observe(0, 0, geom.Point{X: 0, Y: 0}, nil)
+	if o.Busy || o.Decoded {
+		t.Errorf("empty channel not silent: %+v", o)
+	}
+}
+
+func TestDiskSingleDecodes(t *testing.T) {
+	m := &DiskMedium{R: 2, Metric: geom.LInf}
+	o := m.Observe(0, 0, geom.Point{X: 0, Y: 0}, []Tx{tx(1, 1, 7)})
+	if !o.Busy || !o.Decoded || o.Frame.Src != 7 {
+		t.Errorf("single in-range tx not decoded: %+v", o)
+	}
+}
+
+func TestDiskOutOfRangeIgnored(t *testing.T) {
+	m := &DiskMedium{R: 2, Metric: geom.LInf}
+	o := m.Observe(0, 0, geom.Point{X: 0, Y: 0}, []Tx{tx(3, 0, 1)})
+	if o.Busy {
+		t.Errorf("out-of-range tx sensed: %+v", o)
+	}
+	// L-inf: (2,2) is within R=2 even though Euclidean dist is 2.83.
+	o = m.Observe(0, 0, geom.Point{X: 0, Y: 0}, []Tx{tx(2, 2, 1)})
+	if !o.Decoded {
+		t.Errorf("Linf corner tx should decode: %+v", o)
+	}
+	m2 := &DiskMedium{R: 2, Metric: geom.L2}
+	o = m2.Observe(0, 0, geom.Point{X: 0, Y: 0}, []Tx{tx(2, 2, 1)})
+	if o.Busy {
+		t.Errorf("L2 corner tx should be out of range: %+v", o)
+	}
+}
+
+func TestDiskCollision(t *testing.T) {
+	m := &DiskMedium{R: 2, Metric: geom.LInf}
+	o := m.Observe(0, 0, geom.Point{X: 0, Y: 0}, []Tx{tx(1, 0, 1), tx(0, 1, 2)})
+	if !o.Busy || o.Decoded {
+		t.Errorf("two in-range txs should collide: %+v", o)
+	}
+	// One in range + one out of range: decodes the in-range one.
+	o = m.Observe(0, 0, geom.Point{X: 0, Y: 0}, []Tx{tx(1, 0, 1), tx(9, 9, 2)})
+	if !o.Decoded || o.Frame.Src != 1 {
+		t.Errorf("far tx should not prevent decode: %+v", o)
+	}
+}
+
+// The key authenticity property of the channel model: Byzantine
+// transmitters can add activity but can never erase it ("the malicious
+// nodes cannot forge silence"). Adding any transmission to a round can
+// never turn a Busy observation into silence.
+func TestDiskCannotForgeSilence(t *testing.T) {
+	m := &DiskMedium{R: 3, Metric: geom.LInf}
+	f := func(lx, ly, ax, ay, bx, by int16) bool {
+		at := geom.Point{X: float64(lx % 50), Y: float64(ly % 50)}
+		honest := []Tx{tx(float64(ax%50), float64(ay%50), 1)}
+		withAttack := append([]Tx{tx(float64(bx%50), float64(by%50), 2)}, honest...)
+		before := m.Observe(0, 0, at, honest)
+		after := m.Observe(0, 0, at, withAttack)
+		if before.Busy && !after.Busy {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFriisDecodeRangeCalibration(t *testing.T) {
+	m := NewFriisMedium(4, 1)
+	at := geom.Point{X: 0, Y: 0}
+	// Just inside r: decodes.
+	o := m.Observe(0, 0, at, []Tx{tx(3.9, 0, 1)})
+	if !o.Decoded {
+		t.Errorf("tx at 3.9 (r=4) should decode: %+v", o)
+	}
+	// Just outside r but inside 2r: sensed but not decoded.
+	o = m.Observe(0, 0, at, []Tx{tx(5, 0, 1)})
+	if !o.Busy || o.Decoded {
+		t.Errorf("tx at 5 should be sensed only: %+v", o)
+	}
+	// Far outside 2r: silence.
+	o = m.Observe(0, 0, at, []Tx{tx(30, 0, 1)})
+	if o.Busy {
+		t.Errorf("tx at 30 should be silent: %+v", o)
+	}
+}
+
+func TestFriisCollisionAndCapture(t *testing.T) {
+	m := NewFriisMedium(4, 1)
+	at := geom.Point{X: 0, Y: 0}
+	// Two equidistant transmitters: no capture, collision.
+	o := m.Observe(0, 0, at, []Tx{tx(2, 0, 1), tx(0, 2, 2)})
+	if !o.Busy || o.Decoded {
+		t.Errorf("equidistant txs should collide: %+v", o)
+	}
+	// Near transmitter vs far transmitter: capture effect decodes the
+	// strong one. Power ratio at distances 1 vs 3.9 is ~15 > 4.
+	o = m.Observe(0, 0, at, []Tx{tx(1, 0, 1), tx(3.9, 0, 2)})
+	if !o.Decoded || o.Frame.Src != 1 {
+		t.Errorf("capture should decode near tx: %+v", o)
+	}
+	// With capture disabled the same situation is a collision.
+	m.CaptureRatio = 0
+	o = m.Observe(0, 0, at, []Tx{tx(1, 0, 1), tx(3.9, 0, 2)})
+	if o.Decoded {
+		t.Errorf("capture disabled but decoded: %+v", o)
+	}
+}
+
+func TestFriisLossDeterministicAndFrequency(t *testing.T) {
+	m := NewFriisMedium(4, 42)
+	m.LossProb = 0.3
+	at := geom.Point{X: 0, Y: 0}
+	lost := 0
+	const rounds = 10000
+	for r := uint64(0); r < rounds; r++ {
+		o1 := m.Observe(r, 5, at, []Tx{tx(2, 0, 1)})
+		o2 := m.Observe(r, 5, at, []Tx{tx(2, 0, 1)})
+		if o1 != o2 {
+			t.Fatal("loss not deterministic for identical (round,listener,tx)")
+		}
+		if !o1.Busy {
+			lost++
+		}
+	}
+	p := float64(lost) / rounds
+	if p < 0.25 || p > 0.35 {
+		t.Errorf("loss frequency %v, want ~0.3", p)
+	}
+}
+
+func TestFriisNearFieldClamp(t *testing.T) {
+	m := NewFriisMedium(4, 1)
+	at := geom.Point{X: 0, Y: 0}
+	// Co-located transmitter must not produce Inf/NaN; it should decode.
+	o := m.Observe(0, 0, at, []Tx{tx(0, 0, 1)})
+	if !o.Decoded {
+		t.Errorf("co-located tx should decode: %+v", o)
+	}
+}
+
+func TestFriisCannotForgeSilence(t *testing.T) {
+	m := NewFriisMedium(3, 9)
+	f := func(ax, ay, bx, by int16, round uint16) bool {
+		at := geom.Point{X: 10, Y: 10}
+		honest := []Tx{tx(10+float64(ax%8)/2, 10+float64(ay%8)/2, 1)}
+		attack := append([]Tx{tx(10+float64(bx%40)/2, 10+float64(by%40)/2, 2)}, honest...)
+		before := m.Observe(uint64(round), 0, at, honest)
+		after := m.Observe(uint64(round), 0, at, attack)
+		return !(before.Busy && !after.Busy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObsConstructors(t *testing.T) {
+	if Silence.Busy || Silence.Decoded {
+		t.Error("Silence should be empty")
+	}
+	c := Collision()
+	if !c.Busy || c.Decoded {
+		t.Error("Collision should be busy, undecoded")
+	}
+	r := Received(Frame{Src: 3})
+	if !r.Busy || !r.Decoded || r.Frame.Src != 3 {
+		t.Error("Received malformed")
+	}
+}
+
+func TestFrameKindString(t *testing.T) {
+	for k, want := range map[FrameKind]string{
+		KindData: "data", KindAck: "ack", KindVeto: "veto", KindJam: "jam", FrameKind(99): "frame?",
+	} {
+		if k.String() != want {
+			t.Errorf("FrameKind(%d).String() = %q, want %q", k, k, want)
+		}
+	}
+}
+
+func BenchmarkDiskObserve(b *testing.B) {
+	m := &DiskMedium{R: 4, Metric: geom.L2}
+	txs := []Tx{tx(1, 1, 1), tx(10, 10, 2), tx(2, 0, 3)}
+	at := geom.Point{X: 0, Y: 0}
+	for i := 0; i < b.N; i++ {
+		_ = m.Observe(uint64(i), 0, at, txs)
+	}
+}
+
+func BenchmarkFriisObserve(b *testing.B) {
+	m := NewFriisMedium(4, 1)
+	m.LossProb = 0.05
+	txs := []Tx{tx(1, 1, 1), tx(10, 10, 2), tx(2, 0, 3)}
+	at := geom.Point{X: 0, Y: 0}
+	for i := 0; i < b.N; i++ {
+		_ = m.Observe(uint64(i), 0, at, txs)
+	}
+}
+
+func TestSenseRange(t *testing.T) {
+	dm := &DiskMedium{R: 4, Metric: geom.L2}
+	if dm.SenseRange() != 4 {
+		t.Errorf("disk sense range = %v", dm.SenseRange())
+	}
+	fm := NewFriisMedium(4, 1)
+	// Calibrated so carrier sensing reaches 2r.
+	if sr := fm.SenseRange(); sr < 7.99 || sr > 8.01 {
+		t.Errorf("friis sense range = %v, want ~8", sr)
+	}
+	// A transmission just inside the sense range is detected; outside
+	// it is not — consistency between SenseRange and Observe.
+	at := geom.Point{X: 0, Y: 0}
+	in := fm.Observe(0, 0, at, []Tx{tx(fm.SenseRange()-0.01, 0, 1)})
+	out := fm.Observe(0, 0, at, []Tx{tx(fm.SenseRange()+0.01, 0, 1)})
+	if !in.Busy || out.Busy {
+		t.Errorf("SenseRange inconsistent with Observe: in=%v out=%v", in, out)
+	}
+}

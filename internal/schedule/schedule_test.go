@@ -1,0 +1,310 @@
+package schedule
+
+import (
+	"testing"
+	"testing/quick"
+
+	"authradio/internal/geom"
+	"authradio/internal/topo"
+	"authradio/internal/xrand"
+)
+
+func TestCycleArithmetic(t *testing.T) {
+	c := Cycle{NumSlots: 5, SlotLen: 6}
+	if c.Rounds() != 30 {
+		t.Fatalf("Rounds = %d", c.Rounds())
+	}
+	cyc, slot, sub := c.At(0)
+	if cyc != 0 || slot != 0 || sub != 0 {
+		t.Errorf("At(0) = %d,%d,%d", cyc, slot, sub)
+	}
+	cyc, slot, sub = c.At(37)
+	if cyc != 1 || slot != 1 || sub != 1 {
+		t.Errorf("At(37) = %d,%d,%d, want 1,1,1", cyc, slot, sub)
+	}
+	if got := c.Start(2, 3); got != 78 {
+		t.Errorf("Start(2,3) = %d, want 78", got)
+	}
+}
+
+func TestCycleNextStart(t *testing.T) {
+	c := Cycle{NumSlots: 4, SlotLen: 6}
+	tests := []struct {
+		after uint64
+		slot  int
+		want  uint64
+	}{
+		{0, 0, 0},
+		{1, 0, 24},
+		{0, 2, 12},
+		{12, 2, 12},
+		{13, 2, 36},
+		{100, 1, 102},
+	}
+	for _, tc := range tests {
+		if got := c.NextStart(tc.after, tc.slot); got != tc.want {
+			t.Errorf("NextStart(%d,%d) = %d, want %d", tc.after, tc.slot, got, tc.want)
+		}
+	}
+}
+
+func TestCycleNextStartProperty(t *testing.T) {
+	f := func(after uint32, slotRaw uint8) bool {
+		c := Cycle{NumSlots: 7, SlotLen: 6}
+		slot := int(slotRaw) % c.NumSlots
+		got := c.NextStart(uint64(after), slot)
+		if got < uint64(after) {
+			return false
+		}
+		// got must be the start of the given slot.
+		_, s, sub := c.At(got)
+		if s != slot || sub != 0 {
+			return false
+		}
+		// And must be the earliest such round: one cycle earlier is
+		// before 'after'.
+		return got < c.Rounds() || got-c.Rounds() < uint64(after)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSquareOf(t *testing.T) {
+	g := NewSquareGrid(4, 2, 4)
+	if s := g.SquareOf(geom.Point{X: 0, Y: 0}); s != (Square{0, 0}) {
+		t.Errorf("SquareOf origin = %v", s)
+	}
+	if s := g.SquareOf(geom.Point{X: 3.9, Y: 2}); s != (Square{1, 1}) {
+		t.Errorf("SquareOf(3.9,2) = %v", s)
+	}
+	if s := g.SquareOf(geom.Point{X: -0.1, Y: 0}); s != (Square{-1, 0}) {
+		t.Errorf("SquareOf negative = %v", s)
+	}
+}
+
+func TestSlotOfRangeAndSourceReserved(t *testing.T) {
+	g := NewSquareGrid(4, 4.0/3, 4)
+	for sx := -20; sx <= 20; sx++ {
+		for sy := -20; sy <= 20; sy++ {
+			slot := g.SlotOf(Square{sx, sy})
+			if slot == SourceSlot {
+				t.Fatalf("square (%d,%d) got the source slot", sx, sy)
+			}
+			if slot < 1 || slot >= g.NumSlots {
+				t.Fatalf("slot %d out of range [1,%d)", slot, g.NumSlots)
+			}
+		}
+	}
+}
+
+func TestAdjacentSquares(t *testing.T) {
+	g := NewSquareGrid(4, 2, 4)
+	adj := g.Adjacent(Square{0, 0})
+	if len(adj) != 8 {
+		t.Fatalf("adjacent count = %d", len(adj))
+	}
+	seen := map[Square]bool{}
+	for _, s := range adj {
+		if s == (Square{0, 0}) {
+			t.Error("square adjacent to itself")
+		}
+		if seen[s] {
+			t.Error("duplicate adjacent square")
+		}
+		seen[s] = true
+		if abs(s.SX) > 1 || abs(s.SY) > 1 {
+			t.Errorf("non-adjacent square %v", s)
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Adjacent squares must have distinct slots: otherwise a square and its
+// neighbor would transmit simultaneously.
+func TestAdjacentSquaresDistinctSlots(t *testing.T) {
+	for _, side := range []float64{2, 4.0 / 3, 1.5} {
+		g := NewSquareGrid(4, side, 4)
+		for sx := -5; sx <= 5; sx++ {
+			for sy := -5; sy <= 5; sy++ {
+				s := Square{sx, sy}
+				for _, a := range g.Adjacent(s) {
+					if g.SlotOf(a) == g.SlotOf(s) {
+						t.Fatalf("side %v: adjacent squares %v and %v share slot %d", side, s, a, g.SlotOf(s))
+					}
+				}
+			}
+		}
+	}
+}
+
+// The paper's schedule invariant: no two devices within 3R in distinct
+// squares share a slot. Verified on the analytical grid and on random
+// deployments.
+func TestSquareGridVerify(t *testing.T) {
+	d := topo.Grid(20, 20, 4)
+	g := NewSquareGrid(4, 2, 4) // R/2 squares, analytical model
+	if err := g.Verify(d); err != nil {
+		t.Fatal(err)
+	}
+	u := topo.Uniform(500, 24, 4, xrand.New(3))
+	g = NewSquareGrid(4, 4.0/3, 4) // R/3 squares, simulation model
+	if err := g.Verify(u); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSquareGridVerifyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		d := topo.Uniform(120, 18, 3, rng)
+		g := NewSquareGrid(3, 1, 3)
+		return g.Verify(d) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSquareGridMembers(t *testing.T) {
+	d := topo.Grid(4, 4, 4)
+	g := NewSquareGrid(4, 2, 4)
+	m := g.Members(d)
+	total := 0
+	for sq, ids := range m {
+		total += len(ids)
+		prev := -1
+		for _, id := range ids {
+			if id <= prev {
+				t.Errorf("members of %v not ascending: %v", sq, ids)
+			}
+			prev = id
+			if g.SquareOf(d.Pos[id]) != sq {
+				t.Errorf("device %d in wrong square bucket", id)
+			}
+		}
+	}
+	if total != d.N() {
+		t.Errorf("members cover %d devices, want %d", total, d.N())
+	}
+}
+
+func TestSquareGridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for zero side")
+		}
+	}()
+	NewSquareGrid(4, 0, 4)
+}
+
+func TestGreedyNodeScheduleValid(t *testing.T) {
+	d := topo.Uniform(300, 20, 4, xrand.New(7))
+	ns := GreedyNodeSchedule(d, 3*d.R, SlotLen, true, d.CenterNode())
+	if err := ns.Verify(d); err != nil {
+		t.Fatal(err)
+	}
+	if ns.Slot[d.CenterNode()] != SourceSlot {
+		t.Error("source not in slot 0")
+	}
+	for i, s := range ns.Slot {
+		if i != d.CenterNode() && s == SourceSlot {
+			t.Errorf("device %d stole the source slot", i)
+		}
+		if s < 0 || s >= ns.NumSlots {
+			t.Errorf("device %d slot %d out of range", i, s)
+		}
+	}
+}
+
+func TestGreedyNodeScheduleNoReserve(t *testing.T) {
+	d := topo.Grid(6, 6, 2)
+	ns := GreedyNodeSchedule(d, 3*d.R, 1, false, 0)
+	if err := ns.Verify(d); err != nil {
+		t.Fatal(err)
+	}
+	// Without reservation, slot 0 is available to regular devices.
+	if len(ns.NodesInSlot(0)) == 0 {
+		t.Error("slot 0 unused without reservation")
+	}
+}
+
+func TestNodesInSlotPartition(t *testing.T) {
+	d := topo.Uniform(150, 15, 3, xrand.New(1))
+	ns := GreedyNodeSchedule(d, 3*d.R, SlotLen, true, 0)
+	seen := make([]bool, d.N())
+	for slot := 0; slot < ns.NumSlots; slot++ {
+		for _, id := range ns.NodesInSlot(slot) {
+			if seen[id] {
+				t.Fatalf("device %d in two slots", id)
+			}
+			seen[id] = true
+			if ns.Slot[id] != slot {
+				t.Fatalf("slot table inconsistent for %d", id)
+			}
+		}
+	}
+	for id, s := range seen {
+		if !s {
+			t.Fatalf("device %d in no slot", id)
+		}
+	}
+	if ns.NodesInSlot(-1) != nil || ns.NodesInSlot(ns.NumSlots) != nil {
+		t.Error("out-of-range NodesInSlot should be nil")
+	}
+}
+
+// SenderAt must uniquely identify the in-range sender for any listener,
+// because same-slot devices are more than 3R > 2R apart.
+func TestSenderAtUnique(t *testing.T) {
+	d := topo.Uniform(200, 25, 3, xrand.New(5))
+	ns := GreedyNodeSchedule(d, 3*d.R, SlotLen, false, 0)
+	var buf []int
+	for i := 0; i < d.N(); i++ {
+		buf = d.Neighbors(buf[:0], i)
+		for _, j := range buf {
+			// Listener i hears j transmit in j's slot; SenderAt must
+			// resolve to j.
+			if got := ns.SenderAt(d, d.Pos[i], ns.Slot[j]); got != j {
+				t.Fatalf("SenderAt(%v, slot %d) = %d, want %d", d.Pos[i], ns.Slot[j], got, j)
+			}
+		}
+	}
+	// A listener far from all devices in a slot resolves to -1.
+	if got := ns.SenderAt(d, geom.Point{X: -100, Y: -100}, 0); got != -1 {
+		t.Errorf("far SenderAt = %d, want -1", got)
+	}
+}
+
+func TestGreedySlotsBounded(t *testing.T) {
+	// The greedy colouring uses at most maxDegree+2 slots (one extra
+	// when the source slot is reserved).
+	d := topo.Uniform(300, 20, 3, xrand.New(11))
+	spacing := 3 * d.R
+	maxDeg := 0
+	var buf []int
+	for i := 0; i < d.N(); i++ {
+		buf = d.WithinRange(buf[:0], d.Pos[i], spacing)
+		if len(buf)-1 > maxDeg {
+			maxDeg = len(buf) - 1
+		}
+	}
+	ns := GreedyNodeSchedule(d, spacing, SlotLen, true, 0)
+	if ns.NumSlots > maxDeg+2 {
+		t.Errorf("greedy used %d slots, degree bound %d", ns.NumSlots, maxDeg+2)
+	}
+}
+
+func BenchmarkGreedyNodeSchedule(b *testing.B) {
+	d := topo.Uniform(600, 20, 4, xrand.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = GreedyNodeSchedule(d, 3*d.R, SlotLen, true, 0)
+	}
+}

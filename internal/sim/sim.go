@@ -1,0 +1,293 @@
+// Package sim is the discrete-event, round-synchronous radio network
+// simulator. It replaces the paper's WSNet/Worldsens event simulator.
+//
+// Time is divided into rounds ("Time is divided into slots, which we
+// refer to as rounds"). In each round every awake device either
+// transmits one frame, listens, or sleeps; the medium then resolves, for
+// every listener, what it observed (silence, a decoded frame, or
+// undecodable activity). Devices that sleep consume no cycles: the
+// engine keeps a wake calendar and fast-forwards over rounds in which no
+// device is scheduled, which is what makes 4000-node, million-round
+// simulations practical.
+//
+// Rounds resolve in two phases. Phase A calls Wake on every scheduled
+// device and collects the actions; phase B resolves the channel and
+// calls Deliver on every listener. Both phases are data-parallel across
+// devices and the engine optionally fans them out over a worker pool.
+// Determinism is preserved because media are pure functions and each
+// device only mutates itself.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync"
+
+	"authradio/internal/geom"
+	"authradio/internal/radio"
+)
+
+// Action is what a device does with its radio during one round.
+type Action uint8
+
+// Possible radio actions.
+const (
+	// Sleep means the radio is off: nothing is sent, nothing observed.
+	Sleep Action = iota
+	// Listen means the device observes the channel this round.
+	Listen
+	// Transmit means the device broadcasts a frame this round. Radios
+	// are half-duplex: a transmitting device observes nothing.
+	Transmit
+)
+
+// NoWake is the NextWake value meaning "do not schedule me again".
+const NoWake = ^uint64(0)
+
+// Step is a device's decision for the current round plus the next round
+// in which it wants to be woken (NoWake to unschedule).
+type Step struct {
+	Action   Action
+	Frame    radio.Frame
+	NextWake uint64
+}
+
+// Device is a simulated radio device. Wake is called in every round for
+// which the device is scheduled and must return its action for that
+// round; if the action is Listen, Deliver is called later in the same
+// round with the channel observation. Implementations are driven from a
+// single goroutine at a time and need no internal locking.
+type Device interface {
+	// ID returns the device's stable identifier, unique in the engine.
+	ID() int
+	// Pos returns the device's (fixed) position.
+	Pos() geom.Point
+	// Wake is called at the start of round r.
+	Wake(r uint64) Step
+	// Deliver reports the observation for round r after a Listen.
+	Deliver(r uint64, obs radio.Obs)
+}
+
+// roundHeap is a min-heap of scheduled round numbers.
+type roundHeap []uint64
+
+func (h roundHeap) Len() int            { return len(h) }
+func (h roundHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h roundHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *roundHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *roundHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// Engine drives a set of devices over a shared medium.
+type Engine struct {
+	Medium radio.Medium
+	// Workers is the number of goroutines used per phase; values <= 1
+	// run sequentially. Parallelism only pays off for very dense
+	// rounds; experiment-level fan-out is usually preferable.
+	Workers int
+	// OnRound, if non-nil, is invoked after each simulated round with
+	// the transmissions of that round (for tracing).
+	OnRound func(r uint64, txs []radio.Tx)
+
+	devices []Device
+	byID    map[int]Device
+	txCount []uint64 // per device-index transmissions
+	devIdx  map[int]int
+
+	heap     roundHeap
+	calendar map[uint64][]int // round -> device ids (may contain dups)
+
+	round     uint64 // next round to execute
+	rounds    uint64 // rounds actually resolved (non-empty)
+	listenBuf []int
+
+	wakeIDs []int
+	steps   []Step
+	txs     []radio.Tx
+}
+
+// NewEngine returns an engine over the given medium.
+func NewEngine(m radio.Medium) *Engine {
+	return &Engine{
+		Medium:   m,
+		byID:     make(map[int]Device),
+		devIdx:   make(map[int]int),
+		calendar: make(map[uint64][]int),
+	}
+}
+
+// Add registers a device and schedules its first wake-up. It panics on
+// duplicate ids.
+func (e *Engine) Add(d Device, firstWake uint64) {
+	id := d.ID()
+	if _, dup := e.byID[id]; dup {
+		panic(fmt.Sprintf("sim: duplicate device id %d", id))
+	}
+	e.byID[id] = d
+	e.devIdx[id] = len(e.devices)
+	e.devices = append(e.devices, d)
+	e.txCount = append(e.txCount, 0)
+	e.schedule(id, firstWake)
+}
+
+// Devices returns the number of registered devices.
+func (e *Engine) Devices() int { return len(e.devices) }
+
+// Round returns the next round number to be executed.
+func (e *Engine) Round() uint64 { return e.round }
+
+// ResolvedRounds returns the number of non-empty rounds resolved so far.
+func (e *Engine) ResolvedRounds() uint64 { return e.rounds }
+
+// TxCount returns the number of transmissions device id has made.
+func (e *Engine) TxCount(id int) uint64 { return e.txCount[e.devIdx[id]] }
+
+// TotalTx returns the total number of transmissions by all devices.
+func (e *Engine) TotalTx() uint64 {
+	var t uint64
+	for _, c := range e.txCount {
+		t += c
+	}
+	return t
+}
+
+func (e *Engine) schedule(id int, r uint64) {
+	if r == NoWake {
+		return
+	}
+	if _, ok := e.calendar[r]; !ok {
+		heap.Push(&e.heap, r)
+	}
+	e.calendar[r] = append(e.calendar[r], id)
+}
+
+// Stop functions are polled between rounds; returning true ends the run.
+type Stop func(round uint64) bool
+
+// RunUntil executes rounds until stop returns true, the calendar
+// empties, or maxRound is reached. stop is polled at least every
+// pollEvery rounds of simulated time (pollEvery 0 means poll after every
+// resolved round). It returns the round at which execution stopped.
+func (e *Engine) RunUntil(stop Stop, pollEvery, maxRound uint64) uint64 {
+	lastPoll := uint64(0)
+	for len(e.heap) > 0 {
+		r := e.heap[0]
+		if r >= maxRound {
+			e.round = maxRound
+			return maxRound
+		}
+		heap.Pop(&e.heap)
+		ids := e.calendar[r]
+		delete(e.calendar, r)
+		e.round = r
+		e.execRound(r, ids)
+		e.round = r + 1
+		e.rounds++
+		if stop != nil && (pollEvery == 0 || r >= lastPoll+pollEvery) {
+			lastPoll = r
+			if stop(r) {
+				return e.round
+			}
+		}
+	}
+	return e.round
+}
+
+// execRound resolves one round for the given (possibly duplicated)
+// device ids.
+func (e *Engine) execRound(r uint64, ids []int) {
+	// Deduplicate and order wake-ups for determinism.
+	sort.Ints(ids)
+	e.wakeIDs = e.wakeIDs[:0]
+	prev := -1
+	for _, id := range ids {
+		if id != prev {
+			e.wakeIDs = append(e.wakeIDs, id)
+			prev = id
+		}
+	}
+
+	// Phase A: wake devices, collect steps.
+	if cap(e.steps) < len(e.wakeIDs) {
+		e.steps = make([]Step, len(e.wakeIDs))
+	}
+	steps := e.steps[:len(e.wakeIDs)]
+	e.parallelDo(len(e.wakeIDs), func(i int) {
+		steps[i] = e.byID[e.wakeIDs[i]].Wake(r)
+	})
+
+	// Collect transmissions and listeners.
+	e.txs = e.txs[:0]
+	e.listenBuf = e.listenBuf[:0]
+	for i, st := range steps {
+		id := e.wakeIDs[i]
+		switch st.Action {
+		case Transmit:
+			d := e.byID[id]
+			f := st.Frame
+			f.Src = id
+			e.txs = append(e.txs, radio.Tx{Pos: d.Pos(), Frame: f})
+			e.txCount[e.devIdx[id]]++
+		case Listen:
+			e.listenBuf = append(e.listenBuf, i)
+		}
+		if st.NextWake != NoWake {
+			if st.NextWake <= r {
+				panic(fmt.Sprintf("sim: device %d scheduled non-future wake %d at round %d", id, st.NextWake, r))
+			}
+			e.schedule(id, st.NextWake)
+		}
+	}
+
+	// Phase B: resolve the channel for each listener.
+	listeners := e.listenBuf
+	txs := e.txs
+	e.parallelDo(len(listeners), func(j int) {
+		i := listeners[j]
+		d := e.byID[e.wakeIDs[i]]
+		d.Deliver(r, e.Medium.Observe(r, d.ID(), d.Pos(), txs))
+	})
+
+	if e.OnRound != nil {
+		e.OnRound(r, txs)
+	}
+}
+
+// parallelDo runs f(i) for i in [0,n), fanning out across Workers
+// goroutines when configured and n is large enough to amortize the
+// synchronization cost.
+func (e *Engine) parallelDo(n int, f func(int)) {
+	const minPerWorker = 16
+	w := e.Workers
+	if w > n/minPerWorker {
+		w = n / minPerWorker
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, t int) {
+			defer wg.Done()
+			for i := s; i < t; i++ {
+				f(i)
+			}
+		}(start, end)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,143 @@
+// Package stats provides the small set of summary statistics the
+// experiment harness needs: means, standard deviations, medians and the
+// IQR-based outlier trimming the paper applies ("Each experiment was
+// repeated between 6 and 12 times, with outliers being discarded").
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the sample standard deviation of xs (0 for fewer than two
+// values).
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Median returns the median of xs (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Percentile(xs, 50)
+}
+
+// Percentile returns the p'th percentile of xs (linear interpolation
+// between closest ranks). p is clamped to [0,100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// TrimOutliers returns xs with values outside [Q1-k*IQR, Q3+k*IQR]
+// removed; k=1.5 is the conventional fence. Inputs of fewer than four
+// values are returned unchanged (quartiles are meaningless).
+func TrimOutliers(xs []float64, k float64) []float64 {
+	if len(xs) < 4 {
+		return append([]float64(nil), xs...)
+	}
+	q1 := Percentile(xs, 25)
+	q3 := Percentile(xs, 75)
+	iqr := q3 - q1
+	lo, hi := q1-k*iqr, q3+k*iqr
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x >= lo && x <= hi {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Summary bundles the statistics reported for one experiment cell.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Median float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary after trimming outliers with the 1.5*IQR
+// fence.
+func Summarize(xs []float64) Summary {
+	t := TrimOutliers(xs, 1.5)
+	s := Summary{N: len(t), Mean: Mean(t), Std: Std(t), Median: Median(t)}
+	if len(t) > 0 {
+		s.Min, s.Max = t[0], t[0]
+		for _, x := range t {
+			s.Min = math.Min(s.Min, x)
+			s.Max = math.Max(s.Max, x)
+		}
+	}
+	return s
+}
+
+// LinearFit returns the least-squares slope and intercept of y on x,
+// plus the coefficient of determination r². It is used to verify the
+// paper's "linear relationship between the amount of jamming and the
+// delay" and the linear diameter scaling.
+func LinearFit(x, y []float64) (slope, intercept, r2 float64) {
+	n := len(x)
+	if n != len(y) || n < 2 {
+		return 0, 0, 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, my, 0
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		return slope, intercept, 1
+	}
+	r2 = sxy * sxy / (sxx * syy)
+	return slope, intercept, r2
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("mean wrong")
+	}
+}
+
+func TestStd(t *testing.T) {
+	if Std([]float64{5}) != 0 {
+		t.Error("single-value std")
+	}
+	if !almost(Std([]float64{2, 4, 4, 4, 5, 5, 7, 9}), math.Sqrt(32.0/7)) {
+		t.Errorf("std = %v", Std([]float64{2, 4, 4, 4, 5, 5, 7, 9}))
+	}
+}
+
+func TestMedianAndPercentile(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Error("empty median")
+	}
+	if !almost(Median([]float64{3, 1, 2}), 2) {
+		t.Error("odd median")
+	}
+	if !almost(Median([]float64{4, 1, 2, 3}), 2.5) {
+		t.Error("even median")
+	}
+	xs := []float64{1, 2, 3, 4, 5}
+	if !almost(Percentile(xs, 0), 1) || !almost(Percentile(xs, 100), 5) {
+		t.Error("extreme percentiles")
+	}
+	if !almost(Percentile(xs, 25), 2) {
+		t.Errorf("P25 = %v", Percentile(xs, 25))
+	}
+	// Input must not be mutated (Percentile sorts a copy).
+	in := []float64{3, 1, 2}
+	Percentile(in, 50)
+	if in[0] != 3 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestTrimOutliers(t *testing.T) {
+	xs := []float64{10, 11, 12, 11, 10, 12, 11, 500}
+	trimmed := TrimOutliers(xs, 1.5)
+	for _, v := range trimmed {
+		if v == 500 {
+			t.Fatal("outlier survived")
+		}
+	}
+	if len(trimmed) != len(xs)-1 {
+		t.Fatalf("trimmed %d values", len(xs)-len(trimmed))
+	}
+	// Small inputs pass through.
+	small := []float64{1, 100, 10000}
+	if got := TrimOutliers(small, 1.5); len(got) != 3 {
+		t.Error("small input trimmed")
+	}
+}
+
+func TestTrimOutliersPreservesCleanData(t *testing.T) {
+	f := func(seed int64) bool {
+		// Uniform data has no 1.5*IQR outliers by construction most of
+		// the time; at minimum trimming must never remove the median.
+		xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+		got := TrimOutliers(xs, 1.5)
+		return len(got) == 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 1000})
+	if s.N != 4 {
+		t.Fatalf("N = %d after trimming", s.N)
+	}
+	if !almost(s.Mean, 2.5) || !almost(s.Min, 1) || !almost(s.Max, 4) {
+		t.Errorf("summary %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Error("empty summary nonzero")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1, 3, 5, 7, 9} // y = 2x + 1
+	slope, intercept, r2 := LinearFit(x, y)
+	if !almost(slope, 2) || !almost(intercept, 1) || !almost(r2, 1) {
+		t.Errorf("fit = %v %v %v", slope, intercept, r2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if s, _, r2 := LinearFit([]float64{1, 1, 1}, []float64{1, 2, 3}); s != 0 || r2 != 0 {
+		t.Error("constant x should give zero slope")
+	}
+	if _, i, r2 := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5}); !almost(i, 5) || !almost(r2, 1) {
+		t.Error("constant y should fit perfectly")
+	}
+	if s, _, _ := LinearFit([]float64{1}, []float64{1}); s != 0 {
+		t.Error("short input")
+	}
+	if s, _, _ := LinearFit([]float64{1, 2}, []float64{1}); s != 0 {
+		t.Error("mismatched input")
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	// Slope recovery from noisy data within tolerance.
+	x := make([]float64, 50)
+	y := make([]float64, 50)
+	for i := range x {
+		x[i] = float64(i)
+		noise := float64((i*2654435761)%7) - 3
+		y[i] = 4*x[i] + 10 + noise
+	}
+	slope, _, r2 := LinearFit(x, y)
+	if math.Abs(slope-4) > 0.1 {
+		t.Errorf("slope = %v", slope)
+	}
+	if r2 < 0.99 {
+		t.Errorf("r2 = %v", r2)
+	}
+}

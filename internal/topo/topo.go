@@ -1,0 +1,274 @@
+// Package topo builds and analyses device deployments: the analytical
+// grid topology of the paper's proofs, and the uniform-random and
+// clustered deployments of its simulation section. It also provides the
+// neighborhood index, connectivity and hop-diameter analyses used by the
+// experiment harness.
+package topo
+
+import (
+	"fmt"
+	"sort"
+
+	"authradio/internal/geom"
+	"authradio/internal/xrand"
+)
+
+// Deployment is a fixed set of device positions inside a map rectangle,
+// together with the broadcast range R and the metric under which
+// neighborhoods are defined.
+//
+// Paper, Section 3: "Let R be the communication radius. We define a
+// neighborhood of a node v to be the area within distance R of v."
+type Deployment struct {
+	Area   geom.Rect
+	Pos    []geom.Point
+	R      float64
+	Metric geom.Metric
+
+	index *geom.Index
+}
+
+// Validate checks structural invariants and returns a descriptive error
+// for the first violation found.
+func (d *Deployment) Validate() error {
+	if d.R <= 0 {
+		return fmt.Errorf("topo: non-positive range R=%v", d.R)
+	}
+	if len(d.Pos) == 0 {
+		return fmt.Errorf("topo: empty deployment")
+	}
+	for i, p := range d.Pos {
+		if !d.Area.Contains(p) {
+			return fmt.Errorf("topo: node %d at %v outside area %+v", i, p, d.Area)
+		}
+	}
+	return nil
+}
+
+// N returns the number of devices.
+func (d *Deployment) N() int { return len(d.Pos) }
+
+// Density returns the number of devices per unit area, the quantity the
+// paper sweeps in Figures 5 and 7 ("We define the density as the total
+// number of nodes divided by the area of the map").
+func (d *Deployment) Density() float64 { return float64(len(d.Pos)) / d.Area.Area() }
+
+// Index returns (building lazily) the spatial index over the positions.
+// The deployment must not be mutated after the first call.
+func (d *Deployment) Index() *geom.Index {
+	if d.index == nil {
+		cell := d.R
+		if cell <= 0 {
+			cell = 1
+		}
+		d.index = geom.NewIndex(d.Pos, cell)
+	}
+	return d.index
+}
+
+// Neighbors appends to dst the ids of all devices within range R of
+// device i, excluding i itself, and returns the extended slice.
+func (d *Deployment) Neighbors(dst []int, i int) []int {
+	start := len(dst)
+	dst = d.index4(dst, d.Pos[i], d.R)
+	// Remove i itself, preserving order.
+	out := dst[:start]
+	for _, id := range dst[start:] {
+		if id != i {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// WithinRange appends to dst all device ids within distance r of p.
+func (d *Deployment) WithinRange(dst []int, p geom.Point, r float64) []int {
+	return d.index4(dst, p, r)
+}
+
+func (d *Deployment) index4(dst []int, p geom.Point, r float64) []int {
+	dst = d.Index().Within(dst, p, r, d.Metric)
+	sort.Ints(dst)
+	return dst
+}
+
+// NeighborTable precomputes the full adjacency lists, sorted by id.
+func (d *Deployment) NeighborTable() [][]int {
+	tbl := make([][]int, len(d.Pos))
+	for i := range d.Pos {
+		tbl[i] = d.Neighbors(nil, i)
+	}
+	return tbl
+}
+
+// Grid returns the analytical-model deployment: devices at every integer
+// grid point of a w x h lattice (w*h devices), with L-infinity range R.
+//
+// Paper, Section 3: "a two-dimensional grid where nodes are placed at
+// every grid point", analysed in the L-infinity norm.
+func Grid(w, h int, r float64) *Deployment {
+	pos := make([]geom.Point, 0, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			pos = append(pos, geom.Point{X: float64(x), Y: float64(y)})
+		}
+	}
+	return &Deployment{
+		Area:   geom.Rect{MinX: 0, MinY: 0, MaxX: float64(w - 1), MaxY: float64(h - 1)},
+		Pos:    pos,
+		R:      r,
+		Metric: geom.LInf,
+	}
+}
+
+// Uniform returns n devices placed uniformly at random on a side x side
+// map with Euclidean range R, the deployment used by most of the paper's
+// experiments ("Devices are deployed at random in a two-dimensional
+// plane").
+func Uniform(n int, side, r float64, rng *xrand.Rand) *Deployment {
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+	}
+	return &Deployment{Area: geom.Square(side), Pos: pos, R: r, Metric: geom.L2}
+}
+
+// Clustered returns n devices grouped around numClusters random centers,
+// spread with a normal distribution of the given standard deviation and
+// clamped to the map.
+//
+// Paper, Section 6.2: "we choose at random a fixed set of cluster
+// centers; each device is randomly assigned to a cluster, and within a
+// cluster, devices are spread according to a normal distribution."
+func Clustered(n, numClusters int, side, sigma, r float64, rng *xrand.Rand) *Deployment {
+	if numClusters <= 0 {
+		panic("topo: numClusters must be positive")
+	}
+	centers := make([]geom.Point, numClusters)
+	for i := range centers {
+		centers[i] = geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+	}
+	area := geom.Square(side)
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		c := centers[rng.Intn(numClusters)]
+		p := geom.Point{
+			X: rng.Normal(c.X, sigma),
+			Y: rng.Normal(c.Y, sigma),
+		}
+		pos[i] = area.Clamp(p)
+	}
+	return &Deployment{Area: area, Pos: pos, R: r, Metric: geom.L2}
+}
+
+// CenterNode returns the id of the device closest to the center of the
+// map; the paper's experiments start every broadcast from "a single
+// honest source node, located at the center of the network".
+func (d *Deployment) CenterNode() int {
+	c := d.Area.Center()
+	best, bestDist := 0, d.Metric.Dist(d.Pos[0], c)
+	for i := 1; i < len(d.Pos); i++ {
+		if dist := d.Metric.Dist(d.Pos[i], c); dist < bestDist {
+			best, bestDist = i, dist
+		}
+	}
+	return best
+}
+
+// ComponentOf returns the ids of all devices reachable from src through
+// the range-R adjacency graph restricted to the active set (active[i]
+// false means device i is removed, e.g. crashed). The result includes src
+// and is sorted. If active is nil, all devices are active.
+func (d *Deployment) ComponentOf(src int, active []bool) []int {
+	if active != nil && !active[src] {
+		return nil
+	}
+	seen := make([]bool, len(d.Pos))
+	seen[src] = true
+	queue := []int{src}
+	var buf []int
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		buf = d.Neighbors(buf[:0], v)
+		for _, w := range buf {
+			if seen[w] || (active != nil && !active[w]) {
+				continue
+			}
+			seen[w] = true
+			queue = append(queue, w)
+		}
+	}
+	out := make([]int, 0, len(d.Pos))
+	for i, s := range seen {
+		if s {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Connected reports whether all active devices are reachable from src.
+func (d *Deployment) Connected(src int, active []bool) bool {
+	total := 0
+	if active == nil {
+		total = len(d.Pos)
+	} else {
+		for _, a := range active {
+			if a {
+				total++
+			}
+		}
+	}
+	return len(d.ComponentOf(src, active)) == total
+}
+
+// HopDistances returns, for each device, the minimum number of range-R
+// hops from src (-1 if unreachable). The maximum finite value is the
+// eccentricity of src, the "D" in the paper's O(βD + log|Σ|) bound when
+// src is the source.
+func (d *Deployment) HopDistances(src int) []int {
+	dist := make([]int, len(d.Pos))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	var buf []int
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		buf = d.Neighbors(buf[:0], v)
+		for _, w := range buf {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns the largest finite hop distance from src.
+func (d *Deployment) Eccentricity(src int) int {
+	ecc := 0
+	for _, v := range d.HopDistances(src) {
+		if v > ecc {
+			ecc = v
+		}
+	}
+	return ecc
+}
+
+// AvgNeighborCount returns the mean number of neighbors per device; the
+// paper reports "each device has approximately 80 neighbors, in
+// expectation" for the Figure 6 setup.
+func (d *Deployment) AvgNeighborCount() float64 {
+	total := 0
+	var buf []int
+	for i := range d.Pos {
+		buf = d.Neighbors(buf[:0], i)
+		total += len(buf)
+	}
+	return float64(total) / float64(len(d.Pos))
+}

@@ -1,0 +1,246 @@
+package topo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"authradio/internal/geom"
+	"authradio/internal/xrand"
+)
+
+func TestGridBasics(t *testing.T) {
+	d := Grid(5, 4, 1)
+	if d.N() != 20 {
+		t.Fatalf("N = %d, want 20", d.N())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Metric != geom.LInf {
+		t.Error("grid should use Linf metric")
+	}
+	// Interior node (2,2) = id 2*5+2 = 12 has 8 L-inf neighbors at R=1.
+	nbrs := d.Neighbors(nil, 12)
+	if len(nbrs) != 8 {
+		t.Errorf("interior grid node has %d neighbors, want 8", len(nbrs))
+	}
+	// Corner node 0 has 3.
+	if n := len(d.Neighbors(nil, 0)); n != 3 {
+		t.Errorf("corner grid node has %d neighbors, want 3", n)
+	}
+}
+
+func TestGridNeighborCountR2(t *testing.T) {
+	d := Grid(9, 9, 2)
+	// Center node (4,4) of a 9x9 grid with R=2: (2R+1)^2 - 1 = 24.
+	center := 4*9 + 4
+	if n := len(d.Neighbors(nil, center)); n != 24 {
+		t.Errorf("R=2 interior neighbors = %d, want 24", n)
+	}
+}
+
+func TestNeighborsSymmetric(t *testing.T) {
+	rng := xrand.New(5)
+	d := Uniform(150, 20, 4, rng)
+	tbl := d.NeighborTable()
+	for i, nbrs := range tbl {
+		for _, j := range nbrs {
+			found := false
+			for _, k := range tbl[j] {
+				if k == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("asymmetric adjacency: %d->%d but not back", i, j)
+			}
+		}
+	}
+}
+
+func TestNeighborsExcludesSelfAndSorted(t *testing.T) {
+	d := Uniform(100, 15, 3, xrand.New(9))
+	for i := 0; i < d.N(); i++ {
+		nbrs := d.Neighbors(nil, i)
+		prev := -1
+		for _, j := range nbrs {
+			if j == i {
+				t.Fatalf("node %d is its own neighbor", i)
+			}
+			if j <= prev {
+				t.Fatalf("neighbors of %d not strictly sorted: %v", i, nbrs)
+			}
+			prev = j
+		}
+	}
+}
+
+func TestNeighborsMatchBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		d := Uniform(60, 12, 3, rng)
+		for i := 0; i < d.N(); i++ {
+			got := d.Neighbors(nil, i)
+			want := 0
+			for j := 0; j < d.N(); j++ {
+				if j != i && d.Metric.Within(d.Pos[i], d.Pos[j], d.R) {
+					want++
+				}
+			}
+			if len(got) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformInsideAreaAndDensity(t *testing.T) {
+	d := Uniform(800, 24, 4, xrand.New(1))
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Paper's jamming setup: 800 devices on 24x24 is density ~1.39.
+	if dens := d.Density(); math.Abs(dens-800.0/576.0) > 1e-9 {
+		t.Errorf("density = %v", dens)
+	}
+}
+
+func TestClusteredProperties(t *testing.T) {
+	d := Clustered(1200, 10, 30, 2.5, 4, xrand.New(3))
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 1200 {
+		t.Fatalf("N = %d", d.N())
+	}
+	// Clustering should produce higher local density variance than
+	// uniform: compare mean neighbor counts, clustered should exceed
+	// uniform at equal global density.
+	u := Uniform(1200, 30, 4, xrand.New(3))
+	if d.AvgNeighborCount() <= u.AvgNeighborCount() {
+		t.Errorf("clustered avg neighbors %v not greater than uniform %v",
+			d.AvgNeighborCount(), u.AvgNeighborCount())
+	}
+}
+
+func TestClusteredPanicsOnZeroClusters(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero clusters")
+		}
+	}()
+	Clustered(10, 0, 10, 1, 2, xrand.New(1))
+}
+
+func TestCenterNode(t *testing.T) {
+	d := Grid(5, 5, 1)
+	// Center of [0,4]^2 is (2,2) -> id 12.
+	if c := d.CenterNode(); c != 12 {
+		t.Errorf("CenterNode = %d, want 12", c)
+	}
+}
+
+func TestComponentAndConnectivity(t *testing.T) {
+	d := Grid(4, 4, 1)
+	if !d.Connected(0, nil) {
+		t.Fatal("full grid should be connected")
+	}
+	comp := d.ComponentOf(0, nil)
+	if len(comp) != 16 {
+		t.Fatalf("component size %d, want 16", len(comp))
+	}
+	// Deactivate a full column (x=1 with R=1 Linf still bridges
+	// diagonally, so cut two columns x=1,x=2).
+	active := make([]bool, 16)
+	for i := range active {
+		active[i] = true
+	}
+	for y := 0; y < 4; y++ {
+		active[y*4+1] = false
+		active[y*4+2] = false
+	}
+	if d.Connected(0, active) {
+		t.Error("cut grid should be disconnected")
+	}
+	comp = d.ComponentOf(0, active)
+	if len(comp) != 4 {
+		t.Errorf("left column component size %d, want 4", len(comp))
+	}
+	if got := d.ComponentOf(1, active); got != nil {
+		t.Errorf("component of inactive node should be nil, got %v", got)
+	}
+}
+
+func TestHopDistances(t *testing.T) {
+	d := Grid(10, 1, 1) // a line of 10 nodes
+	dist := d.HopDistances(0)
+	for i, v := range dist {
+		if v != i {
+			t.Fatalf("hop dist to %d = %d", i, v)
+		}
+	}
+	if ecc := d.Eccentricity(0); ecc != 9 {
+		t.Errorf("eccentricity = %d, want 9", ecc)
+	}
+}
+
+func TestHopDistanceUnreachable(t *testing.T) {
+	d := &Deployment{
+		Area:   geom.Square(100),
+		Pos:    []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 50}},
+		R:      1,
+		Metric: geom.L2,
+	}
+	dist := d.HopDistances(0)
+	if dist[1] != -1 {
+		t.Errorf("unreachable node has dist %d, want -1", dist[1])
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	d := &Deployment{Area: geom.Square(10), Pos: []geom.Point{{X: 1, Y: 1}}, R: 0, Metric: geom.L2}
+	if err := d.Validate(); err == nil {
+		t.Error("want error for R=0")
+	}
+	d = &Deployment{Area: geom.Square(10), R: 2, Metric: geom.L2}
+	if err := d.Validate(); err == nil {
+		t.Error("want error for empty deployment")
+	}
+	d = &Deployment{Area: geom.Square(10), Pos: []geom.Point{{X: 11, Y: 1}}, R: 2, Metric: geom.L2}
+	if err := d.Validate(); err == nil {
+		t.Error("want error for out-of-area node")
+	}
+}
+
+func TestAvgNeighborCountFig6Setup(t *testing.T) {
+	// Paper: 600 nodes on 20x20 with R=4 -> "approximately 80
+	// neighbors, in expectation". Expected = density*pi*R^2 - 1 ~ 74
+	// ignoring edges; accept a broad band around the paper's claim.
+	d := Uniform(600, 20, 4, xrand.New(11))
+	avg := d.AvgNeighborCount()
+	if avg < 40 || avg > 90 {
+		t.Errorf("fig6 average neighbor count = %v, expected near paper's ~80 (minus edge effects)", avg)
+	}
+}
+
+func TestWithinRange(t *testing.T) {
+	d := Grid(3, 3, 1)
+	ids := d.WithinRange(nil, geom.Point{X: 1, Y: 1}, 0.5)
+	if len(ids) != 1 || ids[0] != 4 {
+		t.Errorf("WithinRange center 0.5 = %v, want [4]", ids)
+	}
+}
+
+func BenchmarkNeighborTable4000(b *testing.B) {
+	d := Uniform(4000, 60, 4, xrand.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.NeighborTable()
+	}
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"authradio/internal/geom"
+	"authradio/internal/radio"
+	"authradio/internal/schedule"
+)
+
+func tx(src int, kind radio.FrameKind) radio.Tx {
+	return radio.Tx{Pos: geom.Point{}, Frame: radio.Frame{Src: src, Kind: kind}}
+}
+
+func TestLoggerBasic(t *testing.T) {
+	var sb strings.Builder
+	l := &Logger{W: &sb, Cycle: schedule.Cycle{NumSlots: 4, SlotLen: 6}}
+	h := l.Hook()
+	h(0, []radio.Tx{tx(3, radio.KindData)})
+	h(7, []radio.Tx{tx(5, radio.KindAck)})
+	out := sb.String()
+	if !strings.Contains(out, "round=0 cycle=0 slot=0 sub=0 dev=3 kind=data") {
+		t.Errorf("missing first line:\n%s", out)
+	}
+	if !strings.Contains(out, "round=7 cycle=0 slot=1 sub=1 dev=5 kind=ack") {
+		t.Errorf("missing second line:\n%s", out)
+	}
+	if l.Lines() != 2 {
+		t.Errorf("lines = %d", l.Lines())
+	}
+}
+
+func TestLoggerWindow(t *testing.T) {
+	var sb strings.Builder
+	l := &Logger{W: &sb, From: 10, To: 20}
+	h := l.Hook()
+	h(5, []radio.Tx{tx(1, radio.KindData)})
+	h(15, []radio.Tx{tx(2, radio.KindData)})
+	h(25, []radio.Tx{tx(3, radio.KindData)})
+	out := sb.String()
+	if strings.Contains(out, "dev=1") || strings.Contains(out, "dev=3") {
+		t.Errorf("out-of-window events logged:\n%s", out)
+	}
+	if !strings.Contains(out, "round=15 dev=2 kind=data") {
+		t.Errorf("in-window event missing:\n%s", out)
+	}
+}
+
+func TestLoggerCap(t *testing.T) {
+	var sb strings.Builder
+	l := &Logger{W: &sb, MaxLines: 2}
+	h := l.Hook()
+	for r := uint64(0); r < 10; r++ {
+		h(r, []radio.Tx{tx(int(r), radio.KindData)})
+	}
+	out := sb.String()
+	if l.Lines() != 2 {
+		t.Errorf("lines = %d, want 2", l.Lines())
+	}
+	if strings.Count(out, "truncated") != 1 {
+		t.Errorf("want exactly one truncation marker:\n%s", out)
+	}
+}
+
+func TestLoggerSilentRoundsSkipped(t *testing.T) {
+	var sb strings.Builder
+	l := &Logger{W: &sb}
+	h := l.Hook()
+	h(1, nil)
+	if sb.Len() != 0 {
+		t.Error("silent round produced output")
+	}
+}

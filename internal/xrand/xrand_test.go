@@ -1,0 +1,240 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(12345)
+	b := New(12345)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestDeriveIndependentOfOrder(t *testing.T) {
+	// Deriving stream (seed, 1, 2) must not depend on whether other
+	// streams were derived first, and must differ from (seed, 2, 1).
+	s1 := Derive(7, 1, 2)
+	_ = Derive(7, 99)
+	s2 := Derive(7, 1, 2)
+	if s1.Uint64() != s2.Uint64() {
+		t.Error("Derive not a pure function of labels")
+	}
+	s3 := Derive(7, 2, 1)
+	if Derive(7, 1, 2).Uint64() == s3.Uint64() {
+		t.Error("label order ignored; streams should differ")
+	}
+}
+
+func TestDeriveStreamsDecorrelated(t *testing.T) {
+	// Adjacent labels must give streams that do not collide over a
+	// modest prefix.
+	seen := map[uint64]bool{}
+	for label := uint64(0); label < 200; label++ {
+		v := Derive(99, label).Uint64()
+		if seen[v] {
+			t.Fatalf("collision for label %d", label)
+		}
+		seen[v] = true
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(1)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Intn(10) value %d count %d far from uniform", v, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(2)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(3)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.2) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.2) > 0.01 {
+		t.Errorf("Bool(0.2) frequency = %v", p)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(4)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(3, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-3) > 0.05 {
+		t.Errorf("Normal mean = %v, want ~3", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Errorf("Normal variance = %v, want ~4", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		n := 1 + int(seed%50)
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleDistinctAndInRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		n := 1 + int(seed%100)
+		k := int(seed/7) % (n + 1)
+		s := r.Sample(n, k)
+		if len(s) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleUniform(t *testing.T) {
+	// Each element of [0,5) should be selected in a 2-sample with
+	// probability 2/5.
+	counts := make([]int, 5)
+	for seed := uint64(0); seed < 50000; seed++ {
+		for _, v := range New(seed).Sample(5, 2) {
+			counts[v]++
+		}
+	}
+	for v, c := range counts {
+		p := float64(c) / 50000
+		if math.Abs(p-0.4) > 0.02 {
+			t.Errorf("Sample(5,2) includes %d with freq %v, want ~0.4", v, p)
+		}
+	}
+}
+
+func TestSamplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Sample(2,3) did not panic")
+		}
+	}()
+	New(1).Sample(2, 3)
+}
+
+func TestHash64(t *testing.T) {
+	if Hash64(1, 2) == Hash64(2, 1) {
+		t.Error("Hash64 ignores word order")
+	}
+	if Hash64(1, 2) != Hash64(1, 2) {
+		t.Error("Hash64 not deterministic")
+	}
+	if Hash64() == Hash64(0) {
+		t.Error("Hash64 of empty vs zero word should differ")
+	}
+	// Avalanche: flipping one input bit should flip ~32 output bits.
+	base := Hash64(0xdeadbeef)
+	diff := base ^ Hash64(0xdeadbeef^1)
+	ones := 0
+	for i := 0; i < 64; i++ {
+		if diff&(1<<i) != 0 {
+			ones++
+		}
+	}
+	if ones < 16 || ones > 48 {
+		t.Errorf("weak avalanche: %d bits flipped", ones)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	hi, lo := mul64(math.MaxUint64, math.MaxUint64)
+	if hi != math.MaxUint64-1 || lo != 1 {
+		t.Errorf("mul64 max*max = (%d,%d)", hi, lo)
+	}
+	hi, lo = mul64(1<<32, 1<<32)
+	if hi != 1 || lo != 0 {
+		t.Errorf("mul64 2^32*2^32 = (%d,%d)", hi, lo)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormal(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Normal(0, 1)
+	}
+}
