@@ -27,12 +27,15 @@ func runExperiment(b *testing.B, name string) [][]experiment.Table {
 	return out
 }
 
-// cellFloat parses a numeric prefix of a table cell ("7.7x" -> 7.7).
-func cellFloat(s string) float64 {
-	s = strings.TrimSuffix(strings.TrimSpace(s), "x")
-	v, err := strconv.ParseFloat(s, 64)
+// cellFloat parses a numeric table cell ("7.7x" -> 7.7), failing the
+// benchmark on anything unparseable: silently reporting 0 would mask a
+// regression in the experiment pipeline as a plausible metric.
+func cellFloat(b *testing.B, s string) float64 {
+	b.Helper()
+	trimmed := strings.TrimSuffix(strings.TrimSpace(s), "x")
+	v, err := strconv.ParseFloat(trimmed, 64)
 	if err != nil {
-		return 0
+		b.Fatalf("unparseable table cell %q: %v", s, err)
 	}
 	return v
 }
@@ -43,7 +46,7 @@ func BenchmarkFig5Crash(b *testing.B) {
 	tables := runExperiment(b, "fig5")
 	t := tables[0][0]
 	// Report the densest cell's NeighborWatchRB completion.
-	b.ReportMetric(cellFloat(t.Rows[len(t.Rows)-1][1]), "completion%")
+	b.ReportMetric(cellFloat(b, t.Rows[len(t.Rows)-1][1]), "completion%")
 }
 
 // BenchmarkJamming regenerates the Section 6.1 jamming experiment
@@ -52,7 +55,7 @@ func BenchmarkFig5Crash(b *testing.B) {
 func BenchmarkJamming(b *testing.B) {
 	tables := runExperiment(b, "jamming")
 	fit := tables[0][1]
-	b.ReportMetric(cellFloat(fit.Rows[0][2]), "r2")
+	b.ReportMetric(cellFloat(b, fit.Rows[0][2]), "r2")
 }
 
 // BenchmarkFig6Lying regenerates Figure 6 (% of delivered messages that
@@ -61,7 +64,7 @@ func BenchmarkFig6Lying(b *testing.B) {
 	tables := runExperiment(b, "fig6")
 	t := tables[0][0]
 	// Correctness of NeighborWatchRB at the highest liar fraction.
-	b.ReportMetric(cellFloat(t.Rows[len(t.Rows)-1][1]), "correct%")
+	b.ReportMetric(cellFloat(b, t.Rows[len(t.Rows)-1][1]), "correct%")
 }
 
 // BenchmarkFig7Density regenerates Figure 7 (max % Byzantine tolerated
@@ -69,7 +72,7 @@ func BenchmarkFig6Lying(b *testing.B) {
 func BenchmarkFig7Density(b *testing.B) {
 	tables := runExperiment(b, "fig7")
 	t := tables[0][0]
-	b.ReportMetric(cellFloat(t.Rows[len(t.Rows)-1][2]), "maxByz%")
+	b.ReportMetric(cellFloat(b, t.Rows[len(t.Rows)-1][2]), "maxByz%")
 }
 
 // BenchmarkClustered regenerates the Section 6.2 clustered-deployment
@@ -78,7 +81,7 @@ func BenchmarkClustered(b *testing.B) {
 	tables := runExperiment(b, "clustered")
 	t := tables[0][0]
 	// Correctness delta: clustered-with-liars minus uniform-with-liars.
-	delta := cellFloat(t.Rows[3][3]) - cellFloat(t.Rows[1][3])
+	delta := cellFloat(b, t.Rows[3][3]) - cellFloat(b, t.Rows[1][3])
 	b.ReportMetric(delta, "clusterGain%")
 }
 
@@ -87,7 +90,7 @@ func BenchmarkClustered(b *testing.B) {
 func BenchmarkMapSize(b *testing.B) {
 	tables := runExperiment(b, "mapsize")
 	fit := tables[0][1]
-	b.ReportMetric(cellFloat(fit.Rows[0][0]), "r2")
+	b.ReportMetric(cellFloat(b, fit.Rows[0][0]), "r2")
 }
 
 // BenchmarkEpidemicComparison regenerates the Section 6.2 epidemic
@@ -95,7 +98,7 @@ func BenchmarkMapSize(b *testing.B) {
 func BenchmarkEpidemicComparison(b *testing.B) {
 	tables := runExperiment(b, "epidemic")
 	sum := tables[0][1]
-	b.ReportMetric(cellFloat(sum.Rows[0][0]), "slowdown")
+	b.ReportMetric(cellFloat(b, sum.Rows[0][0]), "slowdown")
 }
 
 // BenchmarkTheoryBetaD regenerates the Theorem 5 budget-scaling check
@@ -103,7 +106,7 @@ func BenchmarkEpidemicComparison(b *testing.B) {
 func BenchmarkTheoryBetaD(b *testing.B) {
 	tables := runExperiment(b, "theory")
 	fits := tables[0][2]
-	b.ReportMetric(cellFloat(fits.Rows[0][2]), "r2_beta")
+	b.ReportMetric(cellFloat(b, fits.Rows[0][2]), "r2_beta")
 }
 
 // BenchmarkTheoryMsgLen regenerates the Theorem 5 message-length check
@@ -111,7 +114,7 @@ func BenchmarkTheoryBetaD(b *testing.B) {
 func BenchmarkTheoryMsgLen(b *testing.B) {
 	tables := runExperiment(b, "theory")
 	fits := tables[0][2]
-	b.ReportMetric(cellFloat(fits.Rows[1][2]), "r2_msglen")
+	b.ReportMetric(cellFloat(b, fits.Rows[1][2]), "r2_msglen")
 }
 
 // BenchmarkDualMode regenerates the dual-mode conjecture table
@@ -119,8 +122,23 @@ func BenchmarkTheoryMsgLen(b *testing.B) {
 func BenchmarkDualMode(b *testing.B) {
 	tables := runExperiment(b, "dualmode")
 	t := tables[0][0]
-	b.ReportMetric(cellFloat(t.Rows[0][4]), "slowdown")
+	b.ReportMetric(cellFloat(b, t.Rows[0][4]), "slowdown")
 }
+
+// benchDenseRound measures per-round channel-resolution cost on
+// maximally contended rounds: 2048 devices at ~1 per unit² over a
+// Friis medium, a rotating 1/8 of them transmitting each round. The
+// Linear/Indexed pair tracks the speedup of the spatially indexed
+// resolution over the legacy full scan.
+func benchDenseRound(b *testing.B, linear bool) {
+	e := experiment.DenseRoundEngine(2048, linear, 9)
+	experiment.DenseRounds(e, 8) // warm up index storage and calendars
+	b.ResetTimer()
+	experiment.DenseRounds(e, uint64(b.N))
+}
+
+func BenchmarkDenseRoundLinear(b *testing.B)  { benchDenseRound(b, true) }
+func BenchmarkDenseRoundIndexed(b *testing.B) { benchDenseRound(b, false) }
 
 // BenchmarkSingleBroadcastNW measures one end-to-end NeighborWatchRB
 // broadcast (the library's core operation) for ns/op tracking.

@@ -7,7 +7,9 @@
 //	rbexp -exp jamming -reps 10  # override repetitions
 //
 // Experiments: fig5, jamming, fig6, fig7, clustered, mapsize, epidemic,
-// theory, dualmode (see DESIGN.md for the per-experiment index).
+// theory, dualmode, ablation (see DESIGN.md for the per-experiment
+// index), plus dense, a performance diagnostic comparing the spatially
+// indexed channel resolution against the legacy linear scan.
 package main
 
 import (

@@ -1,0 +1,3 @@
+module authradio
+
+go 1.24

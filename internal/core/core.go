@@ -114,12 +114,21 @@ type Config struct {
 	// JamProb is the per-veto-round jam probability (default 1/5).
 	JamProb float64
 	// Medium overrides the channel model; nil selects the analytical
-	// disk medium matching the deployment's metric.
+	// disk medium matching the deployment's metric. A custom medium
+	// that embeds one of the built-in media and overrides only Observe
+	// must also set LinearChannel: the promoted ObserveSet would
+	// otherwise bypass the override on dense rounds (see
+	// radio.IndexedMedium).
 	Medium radio.Medium
 	// Seed drives all run randomness (jammer decisions etc.).
 	Seed uint64
 	// Workers configures engine-internal parallelism (<=1 sequential).
 	Workers int
+	// LinearChannel forces the engine's legacy O(listeners ×
+	// transmissions) channel resolution instead of the spatially
+	// indexed path. Observations are identical either way; the knob
+	// exists for equivalence testing and benchmarking.
+	LinearChannel bool
 	// EpidemicRepeats is how often epidemic holders rebroadcast
 	// (default 1).
 	EpidemicRepeats int
@@ -220,6 +229,7 @@ func Build(cfg Config) (*World, error) {
 		byzIDs: make(map[int]bool),
 	}
 	w.Eng.Workers = cfg.Workers
+	w.Eng.DisableIndex = cfg.LinearChannel
 
 	switch cfg.Protocol {
 	case NeighborWatchRB, NeighborWatch2RB:

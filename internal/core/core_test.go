@@ -222,25 +222,44 @@ func TestDeterministicResults(t *testing.T) {
 func TestEngineWorkersPreserveResults(t *testing.T) {
 	// The engine's intra-round parallelism must not change outcomes:
 	// a full protocol run is bit-for-bit identical across worker
-	// counts.
-	build := func(workers int) Result {
+	// counts, under both the analytical disk medium and the indexed
+	// Friis medium, and regardless of whether the spatially indexed
+	// channel resolution is in force.
+	build := func(workers int, friis, linear bool) Result {
 		d := topo.Uniform(200, 14, 3.5, xrand.New(17))
 		roles := make([]Role, d.N())
 		roles[5] = Liar
 		roles[11] = Jammer
-		w, err := Build(Config{
+		cfg := Config{
 			Deploy: d, Protocol: NeighborWatchRB, Msg: msg4(),
-			SourceID: -1, Roles: roles, JamBudget: 30, Seed: 4, Workers: workers,
-		})
+			SourceID: -1, Roles: roles, JamBudget: 30, Seed: 4,
+			Workers: workers, LinearChannel: linear,
+		}
+		if friis {
+			cfg.Medium = radio.NewFriisMedium(d.R, 17)
+		}
+		w, err := Build(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return w.Run(2_000_000)
 	}
-	seq := build(1)
-	par := build(8)
-	if seq != par {
-		t.Fatalf("workers changed the outcome:\nseq %+v\npar %+v", seq, par)
+	for _, friis := range []bool{false, true} {
+		name := "disk"
+		if friis {
+			name = "friis"
+		}
+		t.Run(name, func(t *testing.T) {
+			seq := build(1, friis, false)
+			par := build(8, friis, false)
+			if seq != par {
+				t.Fatalf("workers changed the outcome:\nseq %+v\npar %+v", seq, par)
+			}
+			linear := build(8, friis, true)
+			if linear != seq {
+				t.Fatalf("indexed channel resolution changed the outcome:\nlinear  %+v\nindexed %+v", linear, seq)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"time"
+
+	"authradio/internal/geom"
+	"authradio/internal/radio"
+	"authradio/internal/sim"
+	"authradio/internal/topo"
+	"authradio/internal/xrand"
+)
+
+// denseDevice drives one maximally contended round after another: a
+// rotating eighth of the devices transmit while the rest listen, every
+// round. It is the channel-resolution stress workload, with no protocol
+// logic on top.
+type denseDevice struct {
+	id   int
+	pos  geom.Point
+	busy uint64
+}
+
+func (d *denseDevice) ID() int         { return d.id }
+func (d *denseDevice) Pos() geom.Point { return d.pos }
+
+func (d *denseDevice) Wake(r uint64) sim.Step {
+	if (uint64(d.id)+r)%8 == 0 {
+		return sim.Step{Action: sim.Transmit, Frame: radio.Frame{Kind: radio.KindData, Payload: uint64(d.id)}, NextWake: r + 1}
+	}
+	return sim.Step{Action: sim.Listen, NextWake: r + 1}
+}
+
+func (d *denseDevice) Deliver(r uint64, obs radio.Obs) {
+	if obs.Busy {
+		d.busy++
+	}
+}
+
+// DenseRoundEngine builds an engine of n devices running the dense
+// workload on a map sized for roughly unit density, over a Friis medium
+// with decode range 4.
+func DenseRoundEngine(n int, linear bool, seed uint64) *sim.Engine {
+	side := 1.0
+	for side*side < float64(n) {
+		side++
+	}
+	d := topo.Uniform(n, side, 4, xrand.New(seed))
+	e := sim.NewEngine(radio.NewFriisMedium(d.R, seed))
+	e.DisableIndex = linear
+	for i, p := range d.Pos {
+		e.Add(&denseDevice{id: i, pos: p}, 1)
+	}
+	return e
+}
+
+// DenseRounds runs rounds dense rounds on the engine (each device acts
+// every round, so simulated rounds equal resolved rounds).
+func DenseRounds(e *sim.Engine, rounds uint64) {
+	e.RunUntil(nil, 0, e.Round()+rounds)
+}
+
+// Dense measures the spatially indexed channel resolution against the
+// legacy linear scan on maximally contended rounds (every device
+// transmitting or listening, ~1 device per unit²). It reports wall
+// time per round for both paths and the speedup; unlike the paper
+// experiments this table is a performance diagnostic, not a figure
+// reproduction.
+func Dense(o Options) []Table {
+	sizes := []int{512, 2048}
+	rounds := uint64(60)
+	if o.Full {
+		sizes = []int{512, 2048, 8192}
+		rounds = 300
+	}
+	t := Table{
+		Title:  "Dense-round channel resolution: linear scan vs spatial index",
+		Note:   "Friis medium, rotating 1/8 of devices transmitting per round; µs/round is wall time.",
+		Header: []string{"devices", "linear µs/round", "indexed µs/round", "speedup"},
+	}
+	for _, n := range sizes {
+		perRound := func(linear bool) float64 {
+			e := DenseRoundEngine(n, linear, o.seed())
+			DenseRounds(e, rounds/4+1) // warm-up: index storage, heap, calendars
+			start := time.Now()
+			DenseRounds(e, rounds)
+			return float64(time.Since(start).Microseconds()) / float64(rounds)
+		}
+		lin := perRound(true)
+		idx := perRound(false)
+		speedup := 0.0
+		if idx > 0 {
+			speedup = lin / idx
+		}
+		o.progress("dense n=%d: linear %.0fµs indexed %.0fµs (%.1fx)", n, lin, idx, speedup)
+		t.Add(n, lin, idx, speedup)
+	}
+	return []Table{t}
+}

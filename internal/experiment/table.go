@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table is a rendered experiment result: the rows the paper's figure or
@@ -39,12 +40,12 @@ func (t *Table) Fprint(w io.Writer) {
 	}
 	widths := make([]int, len(t.Header))
 	for i, h := range t.Header {
-		widths[i] = len(h)
+		widths[i] = utf8.RuneCountInString(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
+			if n := utf8.RuneCountInString(c); i < len(widths) && n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -68,10 +69,11 @@ func (t *Table) Fprint(w io.Writer) {
 }
 
 func pad(s string, w int) string {
-	if len(s) >= w {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
 		return s
 	}
-	return s + strings.Repeat(" ", w-len(s))
+	return s + strings.Repeat(" ", w-n)
 }
 
 // CSV renders the table as comma-separated values.
@@ -137,10 +139,11 @@ func Registry() map[string]Runner {
 		"theory":    TheoryScaling,
 		"dualmode":  DualMode,
 		"ablation":  Ablation,
+		"dense":     Dense,
 	}
 }
 
 // Names returns the registry keys in a stable order.
 func Names() []string {
-	return []string{"fig5", "jamming", "fig6", "fig7", "clustered", "mapsize", "epidemic", "theory", "dualmode", "ablation"}
+	return []string{"fig5", "jamming", "fig6", "fig7", "clustered", "mapsize", "epidemic", "theory", "dualmode", "ablation", "dense"}
 }

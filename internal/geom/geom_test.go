@@ -190,6 +190,114 @@ func TestIndexBadCell(t *testing.T) {
 	NewIndex([]Point{{0, 0}}, 0)
 }
 
+func TestGridIndexWithinMatchesIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var g GridIndex
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(300)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Float64() * 30, rng.Float64() * 30}
+		}
+		cell := 0.5 + rng.Float64()*5
+		g.Reset(pts, cell)
+		if g.Len() != n {
+			t.Fatalf("Len = %d, want %d", g.Len(), n)
+		}
+		for q := 0; q < 10; q++ {
+			p := Point{rng.Float64() * 30, rng.Float64() * 30}
+			r := rng.Float64() * 8
+			for _, m := range []Metric{LInf, L2} {
+				got32 := g.Within(nil, p, r, m)
+				got := make([]int, len(got32))
+				for i, id := range got32 {
+					got[i] = int(id)
+				}
+				sort.Ints(got)
+				var want []int
+				for i, pt := range pts {
+					if m.Within(p, pt, r) {
+						want = append(want, i)
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("trial %d: GridIndex returned %d ids, want %d (r=%v m=%v)", trial, len(got), len(want), r, m)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("trial %d: GridIndex mismatch at %d: got %v want %v", trial, i, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGridIndexResetReusesStorage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]Point, 500)
+	for i := range pts {
+		pts[i] = Point{rng.Float64() * 40, rng.Float64() * 40}
+	}
+	var g GridIndex
+	g.Reset(pts, 3) // warm up the backing arrays
+	allocs := testing.AllocsPerRun(50, func() {
+		g.Reset(pts, 3)
+	})
+	if allocs != 0 {
+		t.Errorf("warm Reset allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestGridIndexCellClamp(t *testing.T) {
+	// A tiny cell over far-apart points must not blow up the grid; the
+	// cell size is grown until the grid is proportional to the points.
+	pts := []Point{{0, 0}, {1e6, 1e6}}
+	var g GridIndex
+	// 1e-12 makes the unclamped cell-count product overflow int; the
+	// clamp must engage before any int conversion.
+	for _, cell := range []float64{1e-3, 1e-12} {
+		g.Reset(pts, cell)
+		if cells := g.cols * g.rows; cells <= 0 || cells > maxCellsFactor*len(pts)+16 {
+			t.Fatalf("cell %v: grid has %d cells for %d points", cell, cells, len(pts))
+		}
+		got := g.Within(nil, Point{0, 0}, 1, L2)
+		if len(got) != 1 || got[0] != 0 {
+			t.Errorf("cell %v: clamped-grid query = %v, want [0]", cell, got)
+		}
+	}
+}
+
+func TestGridIndexEmptyAndBadCell(t *testing.T) {
+	var g GridIndex
+	g.Reset(nil, 1)
+	if got := g.Within(nil, Point{0, 0}, 100, L2); len(got) != 0 {
+		t.Errorf("empty grid index returned %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Reset with non-positive cell did not panic")
+		}
+	}()
+	g.Reset([]Point{{0, 0}}, 0)
+}
+
+func TestGridIndexNonFinitePointPanics(t *testing.T) {
+	// A NaN/Inf coordinate must fail loudly, not hang the grid-sizing
+	// loop.
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Reset with coordinate %v did not panic", bad)
+				}
+			}()
+			var g GridIndex
+			g.Reset([]Point{{0, 0}, {bad, 1}}, 1)
+		}()
+	}
+}
+
 func BenchmarkIndexWithin(b *testing.B) {
 	rng := rand.New(rand.NewSource(7))
 	pts := make([]Point, 4000)

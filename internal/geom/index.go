@@ -2,6 +2,70 @@ package geom
 
 import "math"
 
+// grid is the shared cell geometry of the spatial hashes: a uniform
+// cols×rows cell grid anchored at (minX, minY). Out-of-range points
+// clamp to the border cells, so cellOf and window are total.
+type grid struct {
+	cell       float64
+	minX, minY float64
+	cols, rows int
+}
+
+func (g *grid) cellOf(p Point) int {
+	cx := int((p.X - g.minX) / g.cell)
+	cy := int((p.Y - g.minY) / g.cell)
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cy*g.cols + cx
+}
+
+// window returns the inclusive cell-coordinate rectangle overlapping
+// the axis-aligned box of half-width r around p, clamped to the grid.
+// The result may be empty (cx0 > cx1 or cy0 > cy1) when the box lies
+// entirely outside.
+func (g *grid) window(p Point, r float64) (cx0, cy0, cx1, cy1 int) {
+	cx0 = int((p.X - r - g.minX) / g.cell)
+	cy0 = int((p.Y - r - g.minY) / g.cell)
+	cx1 = int((p.X + r - g.minX) / g.cell)
+	cy1 = int((p.Y + r - g.minY) / g.cell)
+	if cx0 < 0 {
+		cx0 = 0
+	}
+	if cy0 < 0 {
+		cy0 = 0
+	}
+	if cx1 >= g.cols {
+		cx1 = g.cols - 1
+	}
+	if cy1 >= g.rows {
+		cy1 = g.rows - 1
+	}
+	return
+}
+
+// bounds returns the bounding box of pts.
+func bounds(pts []Point) (minX, minY, maxX, maxY float64) {
+	minX, minY = math.Inf(1), math.Inf(1)
+	maxX, maxY = math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	return
+}
+
 // Index is a spatial hash over a fixed set of points, supporting fast
 // "all points within distance r of p" queries. It is the workhorse behind
 // neighborhood computation for deployments of thousands of devices.
@@ -9,12 +73,8 @@ import "math"
 // The cell size is chosen at construction; queries may use any radius.
 // An Index is immutable after construction and safe for concurrent reads.
 type Index struct {
-	cell   float64
+	grid
 	pts    []Point
-	minX   float64
-	minY   float64
-	cols   int
-	rows   int
 	bucket [][]int32 // cell -> point ids
 }
 
@@ -24,20 +84,13 @@ func NewIndex(pts []Point, cell float64) *Index {
 	if cell <= 0 {
 		panic("geom: cell size must be positive")
 	}
-	ix := &Index{cell: cell, pts: pts}
+	ix := &Index{grid: grid{cell: cell}, pts: pts}
 	if len(pts) == 0 {
 		ix.cols, ix.rows = 1, 1
 		ix.bucket = make([][]int32, 1)
 		return ix
 	}
-	minX, minY := math.Inf(1), math.Inf(1)
-	maxX, maxY := math.Inf(-1), math.Inf(-1)
-	for _, p := range pts {
-		minX = math.Min(minX, p.X)
-		minY = math.Min(minY, p.Y)
-		maxX = math.Max(maxX, p.X)
-		maxY = math.Max(maxY, p.Y)
-	}
+	minX, minY, maxX, maxY := bounds(pts)
 	ix.minX, ix.minY = minX, minY
 	ix.cols = int((maxX-minX)/cell) + 1
 	ix.rows = int((maxY-minY)/cell) + 1
@@ -55,24 +108,6 @@ func (ix *Index) Len() int { return len(ix.pts) }
 // At returns the i'th indexed point.
 func (ix *Index) At(i int) Point { return ix.pts[i] }
 
-func (ix *Index) cellOf(p Point) int {
-	cx := int((p.X - ix.minX) / ix.cell)
-	cy := int((p.Y - ix.minY) / ix.cell)
-	if cx < 0 {
-		cx = 0
-	}
-	if cy < 0 {
-		cy = 0
-	}
-	if cx >= ix.cols {
-		cx = ix.cols - 1
-	}
-	if cy >= ix.rows {
-		cy = ix.rows - 1
-	}
-	return cy*ix.cols + cx
-}
-
 // Within appends to dst the ids of all indexed points q with
 // m.Dist(p, q) <= r, and returns the extended slice. The point p itself
 // is included if it is one of the indexed points. Results are in
@@ -81,27 +116,134 @@ func (ix *Index) Within(dst []int, p Point, r float64, m Metric) []int {
 	if len(ix.pts) == 0 {
 		return dst
 	}
-	cx0 := int((p.X - r - ix.minX) / ix.cell)
-	cy0 := int((p.Y - r - ix.minY) / ix.cell)
-	cx1 := int((p.X + r - ix.minX) / ix.cell)
-	cy1 := int((p.Y + r - ix.minY) / ix.cell)
-	if cx0 < 0 {
-		cx0 = 0
-	}
-	if cy0 < 0 {
-		cy0 = 0
-	}
-	if cx1 >= ix.cols {
-		cx1 = ix.cols - 1
-	}
-	if cy1 >= ix.rows {
-		cy1 = ix.rows - 1
-	}
+	cx0, cy0, cx1, cy1 := ix.window(p, r)
 	for cy := cy0; cy <= cy1; cy++ {
 		for cx := cx0; cx <= cx1; cx++ {
 			for _, id := range ix.bucket[cy*ix.cols+cx] {
 				if m.Within(p, ix.pts[id], r) {
 					dst = append(dst, int(id))
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// GridIndex is a resettable spatial hash for point sets that change
+// every round, such as the transmissions of a simulated radio round.
+// Unlike Index, whose per-cell bucket slices are rebuilt from scratch,
+// GridIndex stores its buckets in CSR layout (one ids array plus
+// per-cell offsets) so that Reset reuses all backing arrays: after
+// warm-up, rebuilding the index allocates nothing.
+//
+// A GridIndex is safe for concurrent reads between Resets.
+type GridIndex struct {
+	grid
+	pts   []Point
+	start []int32 // cell -> offset into ids; len cells+1
+	ids   []int32 // point ids grouped by cell, ascending within a cell
+}
+
+// maxCellsFactor bounds the cell-grid size relative to the point count,
+// so that a few far-apart points cannot force a huge (freshly
+// allocated) grid. The cell size is doubled until the grid fits; range
+// queries stay correct for any cell size.
+const maxCellsFactor = 4
+
+// Reset rebuilds the index over pts with the given cell size, reusing
+// all internal storage. The pts slice is retained (not copied) and must
+// not be mutated until the next Reset. cell must be positive and
+// finite; it is grown as needed to bound the grid size.
+func (g *GridIndex) Reset(pts []Point, cell float64) {
+	if !(cell > 0) || math.IsInf(cell, 1) {
+		panic("geom: GridIndex cell size must be positive and finite")
+	}
+	g.pts = pts
+	g.cell = cell
+	if len(pts) == 0 {
+		g.cols, g.rows = 1, 1
+		g.start = append(g.start[:0], 0, 0)
+		g.ids = g.ids[:0]
+		return
+	}
+	minX, minY, maxX, maxY := bounds(pts)
+	if !finite(minX) || !finite(minY) || !finite(maxX) || !finite(maxY) {
+		// A NaN/Inf coordinate would otherwise spin the cell-doubling
+		// loop below forever; fail loudly at the device with the bad
+		// position instead.
+		panic("geom: GridIndex point coordinates must be finite")
+	}
+	g.minX, g.minY = minX, minY
+	// Size the grid in float64: for tiny cells the cell counts (and
+	// their product) can exceed the int range long before the clamp
+	// below would trigger.
+	limit := maxCellsFactor*len(pts) + 16
+	for {
+		cols := math.Floor((maxX-minX)/g.cell) + 1
+		rows := math.Floor((maxY-minY)/g.cell) + 1
+		if cols*rows <= float64(limit) {
+			g.cols = int(cols)
+			g.rows = int(rows)
+			break
+		}
+		g.cell *= 2
+	}
+	cells := g.cols * g.rows
+
+	// CSR build: count per cell, prefix-sum into offsets, then fill.
+	// Filling in ascending point order keeps ids sorted within a cell.
+	if cap(g.start) < cells+1 {
+		g.start = make([]int32, cells+1)
+	}
+	start := g.start[:cells+1]
+	for i := range start {
+		start[i] = 0
+	}
+	for _, p := range pts {
+		start[g.cellOf(p)+1]++
+	}
+	for c := 1; c <= cells; c++ {
+		start[c] += start[c-1]
+	}
+	if cap(g.ids) < len(pts) {
+		g.ids = make([]int32, len(pts))
+	}
+	ids := g.ids[:len(pts)]
+	// cursor reuses the start offsets: fill advances start[c], then the
+	// offsets are restored by shifting back one cell.
+	for i, p := range pts {
+		c := g.cellOf(p)
+		ids[start[c]] = int32(i)
+		start[c]++
+	}
+	for c := cells; c > 0; c-- {
+		start[c] = start[c-1]
+	}
+	start[0] = 0
+	g.start = start
+	g.ids = ids
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Len returns the number of indexed points.
+func (g *GridIndex) Len() int { return len(g.pts) }
+
+// Within appends to dst the ids of all indexed points q with
+// m.Dist(p, q) <= r and returns the extended slice. Ids are ascending
+// within each visited cell but not globally sorted.
+func (g *GridIndex) Within(dst []int32, p Point, r float64, m Metric) []int32 {
+	if len(g.pts) == 0 {
+		return dst
+	}
+	cx0, cy0, cx1, cy1 := g.window(p, r)
+	for cy := cy0; cy <= cy1; cy++ {
+		row := cy * g.cols
+		for cx := cx0; cx <= cx1; cx++ {
+			c := row + cx
+			for _, id := range g.ids[g.start[c]:g.start[c+1]] {
+				if m.Within(p, g.pts[id], r) {
+					dst = append(dst, id)
 				}
 			}
 		}

@@ -173,7 +173,7 @@ func TestRepeatsGiveLossResilience(t *testing.T) {
 		ns := schedule.GreedyNodeSchedule(d, 3*d.R, 1, true, src)
 		sh := NewShared(d, ns, msg.Len, src, repeats)
 		m := radio.NewFriisMedium(d.R, 7)
-		m.LossProb = 0.4
+		m.LossProb = 0.6
 		eng := sim.NewEngine(m)
 		var nodes []*Node
 		for i := range d.Pos {

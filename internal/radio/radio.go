@@ -124,9 +124,26 @@ func (m *DiskMedium) SenseRange() float64 { return m.R }
 
 // Observe implements Medium.
 func (m *DiskMedium) Observe(round uint64, listenerID int, at geom.Point, txs []Tx) Obs {
+	return m.resolve(round, listenerID, at, txs, nil)
+}
+
+// resolve is the single channel-resolution path for the disk medium.
+// With idx nil it scans all of txs; otherwise it examines only the
+// listed transmission indices (any order — the observation is a pure
+// function of the in-range set), which must be a superset of the
+// in-range set.
+func (m *DiskMedium) resolve(round uint64, listenerID int, at geom.Point, txs []Tx, idx []int32) Obs {
+	n := len(txs)
+	if idx != nil {
+		n = len(idx)
+	}
 	inRange := 0
 	var f Frame
-	for i := range txs {
+	for k := 0; k < n; k++ {
+		i := k
+		if idx != nil {
+			i = int(idx[k])
+		}
 		if m.Metric.Within(at, txs[i].Pos, m.R) {
 			inRange++
 			if inRange > 1 {
@@ -187,19 +204,50 @@ func (m *FriisMedium) SenseRange() float64 {
 	return m.Lambda / (4 * math.Pi) * math.Sqrt(m.Pt/m.CSThreshold)
 }
 
+// Fading-hash lane tags. Listener and transmitter ids enter the fade
+// hash as separate words, each XORed into the low bits of its own
+// tagged word, so the two id domains stay disjoint for all ids below
+// 2^32 (device counts are far smaller) independent of word order. The
+// previous scheme shifted the listener id by 20 bits — separation that
+// only word position provided, and that would have silently aliased
+// with transmitter ids >= 2^20 had the words ever been combined or
+// reordered. Changing the tags changes every LossProb stream.
+const (
+	fadeListenerTag = uint64(0x4C49_5354) << 32 // "LIST"
+	fadeSrcTag      = uint64(0x5452_414E) << 32 // "TRAN"
+)
+
 // Observe implements Medium.
 func (m *FriisMedium) Observe(round uint64, listenerID int, at geom.Point, txs []Tx) Obs {
+	return m.resolve(round, listenerID, at, txs, nil)
+}
+
+// resolve is the single channel-resolution path for the Friis medium.
+// With idx nil it scans all of txs; otherwise it examines only the
+// listed transmission indices, which must be ascending (incident power
+// is accumulated in transmission order, so candidate order determines
+// the floating-point sum) and a superset of the transmissions at or
+// above the carrier-sense threshold.
+func (m *FriisMedium) resolve(round uint64, listenerID int, at geom.Point, txs []Tx, idx []int32) Obs {
+	n := len(txs)
+	if idx != nil {
+		n = len(idx)
+	}
 	var total float64
 	best := -1
 	var bestP float64
-	for i := range txs {
+	for k := 0; k < n; k++ {
+		i := k
+		if idx != nil {
+			i = int(idx[k])
+		}
 		p := m.powerAt(geom.L2.Dist(at, txs[i].Pos))
 		if p < m.CSThreshold {
 			continue // below the noise floor for this listener entirely
 		}
 		if m.LossProb > 0 {
 			// Deterministic per-(round, listener, transmitter) fading.
-			h := xrand.Hash64(m.Seed, round, uint64(listenerID)<<20, uint64(txs[i].Frame.Src))
+			h := xrand.Hash64(m.Seed, round, fadeListenerTag^uint64(listenerID), fadeSrcTag^uint64(txs[i].Frame.Src))
 			if float64(h>>11)/(1<<53) < m.LossProb {
 				continue
 			}

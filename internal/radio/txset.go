@@ -1,0 +1,104 @@
+package radio
+
+import (
+	"slices"
+	"sync"
+
+	"authradio/internal/geom"
+)
+
+// TxSet is one round's transmissions together with a spatial hash over
+// their positions. In dense rounds, resolving the channel for every
+// listener against the full transmission list is O(listeners × txs);
+// a TxSet lets an IndexedMedium examine only the transmissions near
+// each listener, which is O(listeners × local) for geometrically
+// bounded media.
+//
+// A TxSet is built (or rebuilt, allocation-free after warm-up) once per
+// round via Reset and is then safe for concurrent reads, so one set is
+// shared by all listeners of the round.
+type TxSet struct {
+	txs []Tx
+	pts []geom.Point
+	ix  geom.GridIndex
+}
+
+// Reset rebuilds the set over txs using the given spatial-hash cell
+// size (typically the medium's sense range). The txs slice is retained
+// and must not be mutated until the next Reset.
+func (s *TxSet) Reset(txs []Tx, cell float64) {
+	s.txs = txs
+	s.pts = s.pts[:0]
+	for i := range txs {
+		s.pts = append(s.pts, txs[i].Pos)
+	}
+	s.ix.Reset(s.pts, cell)
+}
+
+// Len returns the number of transmissions in the set.
+func (s *TxSet) Len() int { return len(s.txs) }
+
+// Txs returns the underlying transmissions (read-only).
+func (s *TxSet) Txs() []Tx { return s.txs }
+
+// near appends to dst the indices of all transmissions within distance
+// r of p under metric m, sorted ascending. Ascending order makes the
+// indexed observation path iterate candidates in exactly the same
+// order as the linear scan, which keeps floating-point accumulation
+// (and therefore every Obs) bit-for-bit identical between the paths.
+func (s *TxSet) near(dst []int32, p geom.Point, r float64, m geom.Metric) []int32 {
+	dst = s.ix.Within(dst, p, r, m)
+	slices.Sort(dst)
+	return dst
+}
+
+// IndexedMedium is a Medium that can resolve observations against a
+// per-round TxSet, examining only transmissions near the listener.
+// ObserveSet must return exactly the Obs that Observe returns for the
+// same (round, listener, set.Txs()).
+//
+// Beware method promotion: a Medium that embeds an IndexedMedium and
+// overrides only Observe still satisfies this interface through the
+// promoted ObserveSet, so the engine would silently bypass the
+// override on dense rounds. Wrappers must either override ObserveSet
+// consistently or run with the indexed path disabled
+// (sim.Engine.DisableIndex / core.Config.LinearChannel).
+type IndexedMedium interface {
+	Medium
+	ObserveSet(round uint64, listenerID int, at geom.Point, set *TxSet) Obs
+}
+
+// candPool recycles candidate-index buffers across the concurrent
+// ObserveSet calls of a round's listeners.
+var candPool = sync.Pool{New: func() interface{} { return new([]int32) }}
+
+// ObserveSet implements IndexedMedium. The spatial query uses the same
+// metric-and-radius predicate as the linear scan's per-transmission
+// check, so the candidate set is exactly the in-range set; the disk
+// observation (count in-range, collide at two) is order-independent,
+// so the candidates are used unsorted.
+func (m *DiskMedium) ObserveSet(round uint64, listenerID int, at geom.Point, set *TxSet) Obs {
+	bufp := candPool.Get().(*[]int32)
+	cand := set.ix.Within((*bufp)[:0], at, m.R, m.Metric)
+	obs := m.resolve(round, listenerID, at, set.txs, cand)
+	*bufp = cand
+	candPool.Put(bufp)
+	return obs
+}
+
+// senseMargin slightly inflates the indexed query radius over
+// SenseRange so that floating-point disagreement between the distance
+// predicates cannot drop a transmission right at the sense boundary.
+// The per-candidate power test in resolve re-applies the exact
+// threshold, so extra candidates never change the observation.
+const senseMargin = 1 + 1e-9
+
+// ObserveSet implements IndexedMedium.
+func (m *FriisMedium) ObserveSet(round uint64, listenerID int, at geom.Point, set *TxSet) Obs {
+	bufp := candPool.Get().(*[]int32)
+	cand := set.near((*bufp)[:0], at, m.SenseRange()*senseMargin, geom.L2)
+	obs := m.resolve(round, listenerID, at, set.txs, cand)
+	*bufp = cand
+	candPool.Put(bufp)
+	return obs
+}

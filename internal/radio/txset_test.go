@@ -1,0 +1,153 @@
+package radio
+
+import (
+	"math/rand"
+	"testing"
+
+	"authradio/internal/geom"
+)
+
+// randomTxs places n transmitters uniformly on a side x side map.
+func randomTxs(rng *rand.Rand, n int, side float64) []Tx {
+	txs := make([]Tx, n)
+	for i := range txs {
+		txs[i] = Tx{
+			Pos:   geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side},
+			Frame: Frame{Kind: KindData, Src: i, Payload: uint64(i)},
+		}
+	}
+	return txs
+}
+
+// The tentpole equivalence property: for random dense deployments, the
+// indexed observation path returns exactly the same Obs as the linear
+// scan, for every listener, under both media and both metrics.
+func TestObserveSetMatchesObserveDisk(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	var set TxSet
+	for _, metric := range []geom.Metric{geom.LInf, geom.L2} {
+		for trial := 0; trial < 30; trial++ {
+			m := &DiskMedium{R: 0.5 + rng.Float64()*4, Metric: metric}
+			txs := randomTxs(rng, rng.Intn(200), 25)
+			set.Reset(txs, m.SenseRange())
+			for l := 0; l < 50; l++ {
+				at := geom.Point{X: rng.Float64() * 25, Y: rng.Float64() * 25}
+				want := m.Observe(uint64(trial), l, at, txs)
+				got := m.ObserveSet(uint64(trial), l, at, &set)
+				if got != want {
+					t.Fatalf("metric %v trial %d listener %d at %v: indexed %+v != linear %+v",
+						metric, trial, l, at, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestObserveSetMatchesObserveFriis(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	var set TxSet
+	for _, lossProb := range []float64{0, 0.3} {
+		for _, captureRatio := range []float64{0, 4} {
+			for trial := 0; trial < 20; trial++ {
+				m := NewFriisMedium(1+rng.Float64()*3, uint64(trial)*7+1)
+				m.LossProb = lossProb
+				m.CaptureRatio = captureRatio
+				txs := randomTxs(rng, rng.Intn(200), 25)
+				set.Reset(txs, m.SenseRange())
+				for l := 0; l < 50; l++ {
+					at := geom.Point{X: rng.Float64() * 25, Y: rng.Float64() * 25}
+					want := m.Observe(uint64(trial), l, at, txs)
+					got := m.ObserveSet(uint64(trial), l, at, &set)
+					if got != want {
+						t.Fatalf("loss %v capture %v trial %d listener %d at %v: indexed %+v != linear %+v",
+							lossProb, captureRatio, trial, l, at, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Boundary-heavy placements: transmitters at exactly the decode, sense
+// and near-field distances, where floating-point disagreement between
+// the query predicate and the power threshold would first show up.
+func TestObserveSetMatchesObserveFriisBoundaries(t *testing.T) {
+	m := NewFriisMedium(4, 9)
+	at := geom.Point{X: 50, Y: 50}
+	sr := m.SenseRange()
+	dists := []float64{0, 1e-9, 3.999999, 4, 4.000001, sr - 1e-9, sr, sr + 1e-9, 2 * sr}
+	var txs []Tx
+	src := 0
+	for _, d := range dists {
+		for _, dir := range []geom.Point{{X: 1}, {Y: -1}, {X: 0.7071067811865476, Y: 0.7071067811865476}} {
+			txs = append(txs, Tx{
+				Pos:   geom.Point{X: at.X + d*dir.X, Y: at.Y + d*dir.Y},
+				Frame: Frame{Src: src},
+			})
+			src++
+		}
+	}
+	var set TxSet
+	// Each subset size exercises different silence/collision/capture
+	// outcomes at the same boundary positions.
+	for n := 1; n <= len(txs); n++ {
+		sub := txs[:n]
+		set.Reset(sub, sr)
+		for r := uint64(0); r < 5; r++ {
+			want := m.Observe(r, 3, at, sub)
+			got := m.ObserveSet(r, 3, at, &set)
+			if got != want {
+				t.Fatalf("n=%d round %d: indexed %+v != linear %+v", n, r, got, want)
+			}
+		}
+	}
+}
+
+func TestTxSetResetReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var set TxSet
+	txs := randomTxs(rng, 300, 20)
+	set.Reset(txs, 2)
+	if set.Len() != 300 || len(set.Txs()) != 300 {
+		t.Fatalf("Len = %d", set.Len())
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		set.Reset(txs, 2)
+	})
+	if allocs != 0 {
+		t.Errorf("warm Reset allocated %v times per run, want 0", allocs)
+	}
+	// Shrinking and growing the set between rounds stays correct.
+	set.Reset(txs[:7], 2)
+	if set.Len() != 7 {
+		t.Errorf("shrunk Len = %d", set.Len())
+	}
+	set.Reset(txs, 2)
+	if set.Len() != 300 {
+		t.Errorf("regrown Len = %d", set.Len())
+	}
+}
+
+func BenchmarkObserveSetDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewFriisMedium(4, 1)
+	txs := randomTxs(rng, 2000, 200) // ~0.05 tx per unit², ~25 in sense range
+	var set TxSet
+	set.Reset(txs, m.SenseRange())
+	at := geom.Point{X: 100, Y: 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.ObserveSet(uint64(i), 0, at, &set)
+	}
+}
+
+func BenchmarkObserveLinearDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewFriisMedium(4, 1)
+	txs := randomTxs(rng, 2000, 200)
+	at := geom.Point{X: 100, Y: 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Observe(uint64(i), 0, at, txs)
+	}
+}

@@ -21,6 +21,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -94,6 +95,13 @@ type Engine struct {
 	// OnRound, if non-nil, is invoked after each simulated round with
 	// the transmissions of that round (for tracing).
 	OnRound func(r uint64, txs []radio.Tx)
+	// DisableIndex forces the legacy O(listeners × transmissions)
+	// linear channel resolution even when the medium supports indexed
+	// observation. The indexed path produces identical observations;
+	// the knob exists for equivalence testing, benchmarking, and
+	// wrapper media that override Observe but inherit ObserveSet by
+	// embedding (see radio.IndexedMedium).
+	DisableIndex bool
 
 	devices []Device
 	byID    map[int]Device
@@ -110,6 +118,7 @@ type Engine struct {
 	wakeIDs []int
 	steps   []Step
 	txs     []radio.Tx
+	txSet   radio.TxSet
 }
 
 // NewEngine returns an engine over the given medium.
@@ -199,6 +208,10 @@ func (e *Engine) RunUntil(stop Stop, pollEvery, maxRound uint64) uint64 {
 	return e.round
 }
 
+// minIndexedTxs is the round density below which building the spatial
+// transmission index costs more than the linear scans it saves.
+const minIndexedTxs = 16
+
 // execRound resolves one round for the given (possibly duplicated)
 // device ids.
 func (e *Engine) execRound(r uint64, ids []int) {
@@ -245,13 +258,32 @@ func (e *Engine) execRound(r uint64, ids []int) {
 		}
 	}
 
-	// Phase B: resolve the channel for each listener.
+	// Phase B: resolve the channel for each listener. For dense rounds
+	// over an indexed medium, bucket the transmissions into a spatial
+	// hash once and share it across all listeners, so each listener
+	// examines only transmissions within sense range instead of the
+	// whole round: O(listeners × local) instead of O(listeners × txs).
+	// Both paths produce bit-for-bit identical observations (media are
+	// pure functions of (round, listener, txs)).
 	listeners := e.listenBuf
 	txs := e.txs
+	observe := func(d Device) radio.Obs {
+		return e.Medium.Observe(r, d.ID(), d.Pos(), txs)
+	}
+	if im, ok := e.Medium.(radio.IndexedMedium); ok && !e.DisableIndex && len(listeners) > 0 && len(txs) >= minIndexedTxs {
+		// Index only for finite sense ranges: an unbounded medium gains
+		// nothing from spatial bucketing.
+		if sr := e.Medium.SenseRange(); sr > 0 && !math.IsInf(sr, 1) {
+			e.txSet.Reset(txs, sr)
+			observe = func(d Device) radio.Obs {
+				return im.ObserveSet(r, d.ID(), d.Pos(), &e.txSet)
+			}
+		}
+	}
 	e.parallelDo(len(listeners), func(j int) {
 		i := listeners[j]
 		d := e.byID[e.wakeIDs[i]]
-		d.Deliver(r, e.Medium.Observe(r, d.ID(), d.Pos(), txs))
+		d.Deliver(r, observe(d))
 	})
 
 	if e.OnRound != nil {

@@ -264,6 +264,107 @@ func TestParallelActuallyRunsConcurrently(t *testing.T) {
 	}
 }
 
+// countingMedium wraps a medium and tallies which resolution path the
+// engine used.
+type countingMedium struct {
+	radio.IndexedMedium
+	linear, indexed int32
+}
+
+func (c *countingMedium) Observe(round uint64, listenerID int, at geom.Point, txs []radio.Tx) radio.Obs {
+	atomic.AddInt32(&c.linear, 1)
+	return c.IndexedMedium.Observe(round, listenerID, at, txs)
+}
+
+func (c *countingMedium) ObserveSet(round uint64, listenerID int, at geom.Point, set *radio.TxSet) radio.Obs {
+	atomic.AddInt32(&c.indexed, 1)
+	return c.IndexedMedium.ObserveSet(round, listenerID, at, set)
+}
+
+// denseScripted builds a dense round: n devices on a grid, every third
+// transmitting, the rest listening.
+func denseScripted(e *Engine, n int) []*scripted {
+	devs := make([]*scripted, n)
+	side := 1
+	for side*side < n {
+		side++
+	}
+	for i := range devs {
+		devs[i] = newScripted(i, geom.Point{X: float64(i % side), Y: float64(i / side)})
+		if i%3 == 0 {
+			devs[i].plan[1] = Step{Action: Transmit, Frame: radio.Frame{Payload: uint64(i)}, NextWake: NoWake}
+		} else {
+			devs[i].plan[1] = Step{Action: Listen, NextWake: NoWake}
+		}
+		e.Add(devs[i], 1)
+	}
+	return devs
+}
+
+func TestIndexedResolutionMatchesLinear(t *testing.T) {
+	// A dense round resolved through the spatial index must deliver
+	// bit-for-bit the same observations as the linear scan, and the
+	// engine must actually have taken the indexed path.
+	for _, m := range []radio.IndexedMedium{
+		&radio.DiskMedium{R: 2.5, Metric: geom.LInf},
+		&radio.DiskMedium{R: 2.5, Metric: geom.L2},
+		radio.NewFriisMedium(2.5, 33),
+	} {
+		build := func(disable bool) ([]*scripted, *countingMedium) {
+			cm := &countingMedium{IndexedMedium: m}
+			e := NewEngine(cm)
+			e.DisableIndex = disable
+			devs := denseScripted(e, 400)
+			e.RunUntil(nil, 0, 10)
+			return devs, cm
+		}
+		lin, cmLin := build(true)
+		idx, cmIdx := build(false)
+		if cmLin.indexed != 0 || cmLin.linear == 0 {
+			t.Fatalf("DisableIndex engine used indexed path (%d indexed, %d linear)", cmLin.indexed, cmLin.linear)
+		}
+		if cmIdx.indexed == 0 || cmIdx.linear != 0 {
+			t.Fatalf("dense round did not use the indexed path (%d indexed, %d linear)", cmIdx.indexed, cmIdx.linear)
+		}
+		for i := range lin {
+			if lin[i].obs[1] != idx[i].obs[1] {
+				t.Fatalf("device %d: linear obs %+v != indexed obs %+v", i, lin[i].obs[1], idx[i].obs[1])
+			}
+		}
+	}
+}
+
+func TestSparseRoundSkipsIndex(t *testing.T) {
+	// Rounds below the density threshold resolve linearly: building the
+	// index would cost more than it saves.
+	cm := &countingMedium{IndexedMedium: &radio.DiskMedium{R: 2, Metric: geom.LInf}}
+	e := NewEngine(cm)
+	denseScripted(e, minIndexedTxs) // ceil(n/3) transmitters < minIndexedTxs
+	e.RunUntil(nil, 0, 10)
+	if cm.indexed != 0 || cm.linear == 0 {
+		t.Fatalf("sparse round used indexed path (%d indexed, %d linear)", cm.indexed, cm.linear)
+	}
+}
+
+func TestIndexedResolutionAcrossWorkers(t *testing.T) {
+	// The shared per-round TxSet must be safe under phase-B fan-out:
+	// worker counts must not change observations.
+	build := func(workers int) []*scripted {
+		e := NewEngine(radio.NewFriisMedium(2.5, 5))
+		e.Workers = workers
+		devs := denseScripted(e, 512)
+		e.RunUntil(nil, 0, 10)
+		return devs
+	}
+	seq := build(1)
+	par := build(8)
+	for i := range seq {
+		if seq[i].obs[1] != par[i].obs[1] {
+			t.Fatalf("device %d: sequential obs %+v != parallel obs %+v", i, seq[i].obs[1], par[i].obs[1])
+		}
+	}
+}
+
 func TestEmptyCalendarTerminates(t *testing.T) {
 	e := newTestEngine()
 	end := e.RunUntil(nil, 0, 1000)
