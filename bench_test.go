@@ -140,6 +140,29 @@ func benchDenseRound(b *testing.B, linear bool) {
 func BenchmarkDenseRoundLinear(b *testing.B)  { benchDenseRound(b, true) }
 func BenchmarkDenseRoundIndexed(b *testing.B) { benchDenseRound(b, false) }
 
+// BenchmarkDenseRound4096 is the 4096-device indexed dense round, the
+// engine-overhaul tracking number (PR 2 target: ≥1.3x over the PR 1
+// engine, measured ~1.8x).
+func BenchmarkDenseRound4096(b *testing.B) {
+	e := experiment.DenseRoundEngine(4096, false, 9)
+	experiment.DenseRounds(e, 8)
+	b.ResetTimer()
+	experiment.DenseRounds(e, uint64(b.N))
+}
+
+// benchDenseRoundDisk is the dense workload over the second built-in
+// medium: the analytical disk channel on an L-infinity integer grid
+// (2116 devices, 46×46).
+func benchDenseRoundDisk(b *testing.B, linear bool) {
+	e := experiment.DenseRoundDiskEngine(2048, linear)
+	experiment.DenseRounds(e, 8)
+	b.ResetTimer()
+	experiment.DenseRounds(e, uint64(b.N))
+}
+
+func BenchmarkDenseRoundDiskLinear(b *testing.B) { benchDenseRoundDisk(b, true) }
+func BenchmarkDenseRoundDisk(b *testing.B)       { benchDenseRoundDisk(b, false) }
+
 // BenchmarkSingleBroadcastNW measures one end-to-end NeighborWatchRB
 // broadcast (the library's core operation) for ns/op tracking.
 func BenchmarkSingleBroadcastNW(b *testing.B) {

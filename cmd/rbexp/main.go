@@ -9,7 +9,9 @@
 // Experiments: fig5, jamming, fig6, fig7, clustered, mapsize, epidemic,
 // theory, dualmode, ablation (see DESIGN.md for the per-experiment
 // index), plus dense, a performance diagnostic comparing the spatially
-// indexed channel resolution against the legacy linear scan.
+// indexed channel resolution against the legacy linear scan on both
+// built-in media (Friis over uniform deployments, disk over L-infinity
+// grids).
 package main
 
 import (

@@ -53,6 +53,25 @@ func DenseRoundEngine(n int, linear bool, seed uint64) *sim.Engine {
 	return e
 }
 
+// DenseRoundDiskEngine builds the dense workload on the analytical
+// model: devices at every point of the smallest integer grid with at
+// least n cells, over a disk medium with L-infinity range 4. Together
+// with DenseRoundEngine the pair stresses the indexed resolution of
+// both built-in media.
+func DenseRoundDiskEngine(n int, linear bool) *sim.Engine {
+	side := 1
+	for side*side < n {
+		side++
+	}
+	d := topo.Grid(side, side, 4)
+	e := sim.NewEngine(&radio.DiskMedium{R: d.R, Metric: d.Metric})
+	e.DisableIndex = linear
+	for i, p := range d.Pos {
+		e.Add(&denseDevice{id: i, pos: p}, 1)
+	}
+	return e
+}
+
 // DenseRounds runs rounds dense rounds on the engine (each device acts
 // every round, so simulated rounds equal resolved rounds).
 func DenseRounds(e *sim.Engine, rounds uint64) {
@@ -61,9 +80,11 @@ func DenseRounds(e *sim.Engine, rounds uint64) {
 
 // Dense measures the spatially indexed channel resolution against the
 // legacy linear scan on maximally contended rounds (every device
-// transmitting or listening, ~1 device per unit²). It reports wall
-// time per round for both paths and the speedup; unlike the paper
-// experiments this table is a performance diagnostic, not a figure
+// transmitting or listening, ~1 device per unit²), over both built-in
+// media: the Friis simulation medium on uniform-random deployments and
+// the analytical disk medium on L-infinity integer grids. It reports
+// wall time per round for both paths and the speedup; unlike the paper
+// experiments these tables are a performance diagnostic, not a figure
 // reproduction.
 func Dense(o Options) []Table {
 	sizes := []int{512, 2048}
@@ -72,27 +93,40 @@ func Dense(o Options) []Table {
 		sizes = []int{512, 2048, 8192}
 		rounds = 300
 	}
-	t := Table{
-		Title:  "Dense-round channel resolution: linear scan vs spatial index",
-		Note:   "Friis medium, rotating 1/8 of devices transmitting per round; µs/round is wall time.",
+	bench := func(t *Table, medium string, build func(n int, linear bool) *sim.Engine) {
+		for _, n := range sizes {
+			devices := n // actual count: grid engines round up to a full square
+			perRound := func(linear bool) float64 {
+				e := build(n, linear)
+				devices = e.Devices()
+				DenseRounds(e, rounds/4+1) // warm-up: index storage, wheel, scratch
+				start := time.Now()
+				DenseRounds(e, rounds)
+				return float64(time.Since(start).Microseconds()) / float64(rounds)
+			}
+			lin := perRound(true)
+			idx := perRound(false)
+			speedup := 0.0
+			if idx > 0 {
+				speedup = lin / idx
+			}
+			o.progress("dense %s n=%d: linear %.0fµs indexed %.0fµs (%.1fx)", medium, devices, lin, idx, speedup)
+			t.Add(devices, lin, idx, speedup)
+		}
+	}
+	friis := Table{
+		Title:  "Dense-round channel resolution: linear scan vs spatial index (Friis)",
+		Note:   "Friis medium, uniform deployment, rotating 1/8 of devices transmitting per round; µs/round is wall time.",
 		Header: []string{"devices", "linear µs/round", "indexed µs/round", "speedup"},
 	}
-	for _, n := range sizes {
-		perRound := func(linear bool) float64 {
-			e := DenseRoundEngine(n, linear, o.seed())
-			DenseRounds(e, rounds/4+1) // warm-up: index storage, heap, calendars
-			start := time.Now()
-			DenseRounds(e, rounds)
-			return float64(time.Since(start).Microseconds()) / float64(rounds)
-		}
-		lin := perRound(true)
-		idx := perRound(false)
-		speedup := 0.0
-		if idx > 0 {
-			speedup = lin / idx
-		}
-		o.progress("dense n=%d: linear %.0fµs indexed %.0fµs (%.1fx)", n, lin, idx, speedup)
-		t.Add(n, lin, idx, speedup)
+	bench(&friis, "friis", func(n int, linear bool) *sim.Engine {
+		return DenseRoundEngine(n, linear, o.seed())
+	})
+	disk := Table{
+		Title:  "Dense-round channel resolution: linear scan vs spatial index (disk)",
+		Note:   "Disk medium, LInf integer grid, rotating 1/8 of devices transmitting per round; µs/round is wall time.",
+		Header: []string{"devices", "linear µs/round", "indexed µs/round", "speedup"},
 	}
-	return []Table{t}
+	bench(&disk, "disk", DenseRoundDiskEngine)
+	return []Table{friis, disk}
 }

@@ -62,17 +62,67 @@ type Scenario struct {
 	Seed      uint64
 }
 
-// deployment builds the scenario's deployment for one repetition.
+// deployKey identifies a deployment up to the parameters that determine
+// its geometry: everything Scenario.deployment reads, plus the
+// repetition. Scenarios that differ only in protocol or adversary mix
+// share the key, and therefore the deployment.
+type deployKey struct {
+	kind                  DeployKind
+	nodes, clusters, grid int
+	side, sigma, rng      float64
+	seed                  uint64
+	rep                   int
+}
+
+// deployCache shares deployments across experiment cells. Experiments
+// sweep a protocol or adversary dimension over a fixed deployment
+// family, so without the cache every cell rebuilds (positions, spatial
+// index, neighborhoods) the same deployment per repetition. Cached
+// deployments have their spatial index pre-built, making them safe for
+// the read-only concurrent use the repetition fan-out needs.
+var (
+	deployMu    sync.Mutex
+	deployCache = make(map[deployKey]*topo.Deployment)
+)
+
+// maxDeployCache bounds the cache; on overflow the whole cache is
+// dropped (experiment sweeps revisit keys in cell order, so partial
+// eviction buys nothing).
+const maxDeployCache = 256
+
+// deployment builds (or recalls) the scenario's deployment for one
+// repetition. The result is a pure function of the key, so sharing the
+// object across cells cannot change any result; callers must treat it
+// as immutable.
 func (s Scenario) deployment(rep int) *topo.Deployment {
+	key := deployKey{
+		kind: s.Deploy, nodes: s.Nodes, clusters: s.Clusters, grid: s.GridW,
+		side: s.MapSide, sigma: s.Sigma, rng: s.Range,
+		seed: s.Seed, rep: rep,
+	}
+	deployMu.Lock()
+	d, ok := deployCache[key]
+	deployMu.Unlock()
+	if ok {
+		return d
+	}
 	rng := xrand.Derive(s.Seed, 0xDE9, uint64(rep))
 	switch s.Deploy {
 	case Clustered:
-		return topo.Clustered(s.Nodes, s.Clusters, s.MapSide, s.Sigma, s.Range, rng)
+		d = topo.Clustered(s.Nodes, s.Clusters, s.MapSide, s.Sigma, s.Range, rng)
 	case GridDeploy:
-		return topo.Grid(s.GridW, s.GridW, s.Range)
+		d = topo.Grid(s.GridW, s.GridW, s.Range)
 	default:
-		return topo.Uniform(s.Nodes, s.MapSide, s.Range, rng)
+		d = topo.Uniform(s.Nodes, s.MapSide, s.Range, rng)
 	}
+	d.Index() // pre-build so cached deployments are read-only thereafter
+	deployMu.Lock()
+	if len(deployCache) >= maxDeployCache {
+		clear(deployCache)
+	}
+	deployCache[key] = d
+	deployMu.Unlock()
+	return d
 }
 
 // roles samples the adversary assignment for one repetition, keeping

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"authradio/internal/core"
+	"authradio/internal/topo"
+	"authradio/internal/xrand"
 )
 
 // tiny returns a scenario that runs in milliseconds.
@@ -245,5 +247,46 @@ func TestDualModeSmoke(t *testing.T) {
 	tables := DualMode(Options{Reps: 1})
 	if len(tables) != 1 || len(tables[0].Rows) != 3 {
 		t.Fatal("dualmode table malformed")
+	}
+}
+
+// TestDeploymentCacheSharesAcrossCells verifies that cells differing
+// only in protocol/adversary parameters recall the same deployment
+// object, while any geometry-determining parameter (or the repetition)
+// yields a distinct one.
+func TestDeploymentCacheSharesAcrossCells(t *testing.T) {
+	base := Scenario{Deploy: Uniform, Nodes: 60, MapSide: 12, Range: 3, Seed: 41}
+	d0 := base.deployment(0)
+
+	same := base
+	same.Protocol = 2
+	same.LiarFrac = 0.2
+	same.MaxRounds = 123
+	if same.deployment(0) != d0 {
+		t.Error("cells differing only in protocol/adversary mix rebuilt the deployment")
+	}
+	if base.deployment(1) == d0 {
+		t.Error("different repetition shared a deployment")
+	}
+	other := base
+	other.Nodes = 61
+	if other.deployment(0) == d0 {
+		t.Error("different node count shared a deployment")
+	}
+	reseeded := base
+	reseeded.Seed = 42
+	if reseeded.deployment(0) == d0 {
+		t.Error("different seed shared a deployment")
+	}
+	// The recalled deployment must be geometrically identical to an
+	// independent build from the same derivation.
+	fresh := topo.Uniform(60, 12, 3, xrand.Derive(41, 0xDE9, 0))
+	if fresh.N() != d0.N() {
+		t.Fatalf("cached deployment has %d nodes, fresh %d", d0.N(), fresh.N())
+	}
+	for i := range fresh.Pos {
+		if fresh.Pos[i] != d0.Pos[i] {
+			t.Fatalf("cached deployment position %d = %v, fresh %v", i, d0.Pos[i], fresh.Pos[i])
+		}
 	}
 }

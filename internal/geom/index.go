@@ -72,61 +72,36 @@ func bounds(pts []Point) (minX, minY, maxX, maxY float64) {
 //
 // The cell size is chosen at construction; queries may use any radius.
 // An Index is immutable after construction and safe for concurrent reads.
+// It is a thin immutable view over a GridIndex, so building one is two
+// array allocations (CSR layout) rather than one bucket per cell.
 type Index struct {
-	grid
-	pts    []Point
-	bucket [][]int32 // cell -> point ids
+	g GridIndex
 }
 
 // NewIndex builds a spatial hash over pts with the given cell size.
-// cell should be on the order of the typical query radius.
+// cell should be on the order of the typical query radius; it is grown
+// as needed to keep the cell grid proportional to the point count.
 func NewIndex(pts []Point, cell float64) *Index {
 	if cell <= 0 {
 		panic("geom: cell size must be positive")
 	}
-	ix := &Index{grid: grid{cell: cell}, pts: pts}
-	if len(pts) == 0 {
-		ix.cols, ix.rows = 1, 1
-		ix.bucket = make([][]int32, 1)
-		return ix
-	}
-	minX, minY, maxX, maxY := bounds(pts)
-	ix.minX, ix.minY = minX, minY
-	ix.cols = int((maxX-minX)/cell) + 1
-	ix.rows = int((maxY-minY)/cell) + 1
-	ix.bucket = make([][]int32, ix.cols*ix.rows)
-	for i, p := range pts {
-		c := ix.cellOf(p)
-		ix.bucket[c] = append(ix.bucket[c], int32(i))
-	}
+	ix := &Index{}
+	ix.g.Reset(pts, cell)
 	return ix
 }
 
 // Len returns the number of indexed points.
-func (ix *Index) Len() int { return len(ix.pts) }
+func (ix *Index) Len() int { return ix.g.Len() }
 
 // At returns the i'th indexed point.
-func (ix *Index) At(i int) Point { return ix.pts[i] }
+func (ix *Index) At(i int) Point { return ix.g.pts[i] }
 
 // Within appends to dst the ids of all indexed points q with
 // m.Dist(p, q) <= r, and returns the extended slice. The point p itself
 // is included if it is one of the indexed points. Results are in
 // ascending id order within each visited cell but not globally sorted.
 func (ix *Index) Within(dst []int, p Point, r float64, m Metric) []int {
-	if len(ix.pts) == 0 {
-		return dst
-	}
-	cx0, cy0, cx1, cy1 := ix.window(p, r)
-	for cy := cy0; cy <= cy1; cy++ {
-		for cx := cx0; cx <= cx1; cx++ {
-			for _, id := range ix.bucket[cy*ix.cols+cx] {
-				if m.Within(p, ix.pts[id], r) {
-					dst = append(dst, int(id))
-				}
-			}
-		}
-	}
-	return dst
+	return ix.g.WithinInts(dst, p, r, m)
 }
 
 // GridIndex is a resettable spatial hash for point sets that change
@@ -247,6 +222,72 @@ func (g *GridIndex) Within(dst []int32, p Point, r float64, m Metric) []int32 {
 				}
 			}
 		}
+	}
+	return dst
+}
+
+// WithinInts is Within with an []int destination, for callers that mix
+// the ids into int-typed adjacency lists.
+func (g *GridIndex) WithinInts(dst []int, p Point, r float64, m Metric) []int {
+	if len(g.pts) == 0 {
+		return dst
+	}
+	cx0, cy0, cx1, cy1 := g.window(p, r)
+	for cy := cy0; cy <= cy1; cy++ {
+		row := cy * g.cols
+		for cx := cx0; cx <= cx1; cx++ {
+			c := row + cx
+			for _, id := range g.ids[g.start[c]:g.start[c+1]] {
+				if m.Within(p, g.pts[id], r) {
+					dst = append(dst, int(id))
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Cells returns the number of cells in the current grid.
+func (g *GridIndex) Cells() int { return g.cols * g.rows }
+
+// CellOf returns the index of the grid cell containing p, in
+// [0, Cells()). Out-of-range points clamp to the border cells. The
+// assignment is only valid until the next Reset.
+func (g *GridIndex) CellOf(p Point) int { return g.cellOf(p) }
+
+// GatherBox appends to dst the ids of every indexed point whose cell
+// overlaps the axis-aligned box [lo-r, hi+r] and returns the extended
+// slice. No distance predicate is applied: the result is a superset of
+// the points within distance r (under L2 or LInf) of any point in the
+// rectangle [lo, hi], grouped by cell rather than sorted. Because cells
+// of one grid row are contiguous in the CSR layout, each row is one
+// bulk append.
+func (g *GridIndex) GatherBox(dst []int32, lo, hi Point, r float64) []int32 {
+	if len(g.pts) == 0 {
+		return dst
+	}
+	cx0 := int((lo.X - r - g.minX) / g.cell)
+	cy0 := int((lo.Y - r - g.minY) / g.cell)
+	cx1 := int((hi.X + r - g.minX) / g.cell)
+	cy1 := int((hi.Y + r - g.minY) / g.cell)
+	if cx0 < 0 {
+		cx0 = 0
+	}
+	if cy0 < 0 {
+		cy0 = 0
+	}
+	if cx1 >= g.cols {
+		cx1 = g.cols - 1
+	}
+	if cy1 >= g.rows {
+		cy1 = g.rows - 1
+	}
+	if cx0 > cx1 || cy0 > cy1 {
+		return dst // box entirely outside the grid
+	}
+	for cy := cy0; cy <= cy1; cy++ {
+		row := cy * g.cols
+		dst = append(dst, g.ids[g.start[row+cx0]:g.start[row+cx1+1]]...)
 	}
 	return dst
 }

@@ -233,6 +233,23 @@ func (m *FriisMedium) resolve(round uint64, listenerID int, at geom.Point, txs [
 	if idx != nil {
 		n = len(idx)
 	}
+	// Squared-distance gate: transmissions beyond the (slightly
+	// inflated) sense range cannot pass the power test below, so skip
+	// them without the hypot/division of powerAt. The margin makes the
+	// gate a strict superset of the exact test, and gated-out
+	// transmissions would have been skipped by the power test anyway,
+	// so observations are unchanged. The near-field clamp keeps the
+	// gate valid even for degenerate parameter sets whose sense range
+	// is inside the near field.
+	gate2 := math.Inf(1)
+	if m.CSThreshold > 0 {
+		g := m.SenseRange()
+		if nf := m.Lambda / (4 * math.Pi); g < nf {
+			g = nf
+		}
+		g *= 1 + 1e-6
+		gate2 = g * g
+	}
 	var total float64
 	best := -1
 	var bestP float64
@@ -240,6 +257,11 @@ func (m *FriisMedium) resolve(round uint64, listenerID int, at geom.Point, txs [
 		i := k
 		if idx != nil {
 			i = int(idx[k])
+		}
+		dx := at.X - txs[i].Pos.X
+		dy := at.Y - txs[i].Pos.Y
+		if dx*dx+dy*dy > gate2 {
+			continue // beyond sense range for this listener entirely
 		}
 		p := m.powerAt(geom.L2.Dist(at, txs[i].Pos))
 		if p < m.CSThreshold {

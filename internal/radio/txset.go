@@ -41,6 +41,30 @@ func (s *TxSet) Len() int { return len(s.txs) }
 // Txs returns the underlying transmissions (read-only).
 func (s *TxSet) Txs() []Tx { return s.txs }
 
+// Cells returns the number of cells of the set's spatial hash.
+func (s *TxSet) Cells() int { return s.ix.Cells() }
+
+// CellOf returns the spatial-hash cell containing p, in [0, Cells());
+// out-of-range points clamp to the border cells. The assignment is only
+// valid until the next Reset. The engine uses it to group a round's
+// listeners by cell so that nearby listeners are resolved together.
+func (s *TxSet) CellOf(p geom.Point) int { return s.ix.CellOf(p) }
+
+// GatherBox appends to dst, in ascending order, the indices of every
+// transmission whose spatial-hash cell overlaps the axis-aligned box
+// [lo-r, hi+r], and returns the extended slice. The result is a
+// superset of the transmissions within distance r (under L2 or LInf) of
+// any listener inside [lo, hi], so one gather can be shared by all
+// listeners of a cell and resolved per listener with the exact
+// range/power predicates (see CandidateMedium). Ascending order keeps
+// the shared candidate list iterating in exactly the linear scan's
+// transmission order.
+func (s *TxSet) GatherBox(dst []int32, lo, hi geom.Point, r float64) []int32 {
+	dst = s.ix.GatherBox(dst, lo, hi, r)
+	slices.Sort(dst)
+	return dst
+}
+
 // near appends to dst the indices of all transmissions within distance
 // r of p under metric m, sorted ascending. Ascending order makes the
 // indexed observation path iterate candidates in exactly the same
@@ -68,6 +92,35 @@ type IndexedMedium interface {
 	ObserveSet(round uint64, listenerID int, at geom.Point, set *TxSet) Obs
 }
 
+// CandidateMedium is a Medium that can resolve an observation against a
+// precomputed candidate list: cand holds indices into txs, must be
+// ascending, and must be a superset of the transmissions the listener
+// can detect (the exact per-transmission range/power predicates are
+// re-applied per candidate, so extra candidates never change the
+// observation). ObserveCand must return exactly the Obs that Observe
+// returns for the same (round, listener, txs).
+//
+// The engine uses this to share one sorted candidate gather (see
+// TxSet.GatherBox) across all listeners of a spatial cell, amortizing
+// both the spatial query and the sort. The method-promotion caveat of
+// IndexedMedium applies here too: a wrapper embedding a concrete
+// built-in medium that overrides only Observe must run with the indexed
+// path disabled.
+type CandidateMedium interface {
+	Medium
+	ObserveCand(round uint64, listenerID int, at geom.Point, txs []Tx, cand []int32) Obs
+}
+
+// ObserveCand implements CandidateMedium.
+func (m *DiskMedium) ObserveCand(round uint64, listenerID int, at geom.Point, txs []Tx, cand []int32) Obs {
+	return m.resolve(round, listenerID, at, txs, cand)
+}
+
+// ObserveCand implements CandidateMedium.
+func (m *FriisMedium) ObserveCand(round uint64, listenerID int, at geom.Point, txs []Tx, cand []int32) Obs {
+	return m.resolve(round, listenerID, at, txs, cand)
+}
+
 // candPool recycles candidate-index buffers across the concurrent
 // ObserveSet calls of a round's listeners.
 var candPool = sync.Pool{New: func() interface{} { return new([]int32) }}
@@ -86,17 +139,17 @@ func (m *DiskMedium) ObserveSet(round uint64, listenerID int, at geom.Point, set
 	return obs
 }
 
-// senseMargin slightly inflates the indexed query radius over
+// SenseMargin slightly inflates an indexed query radius over
 // SenseRange so that floating-point disagreement between the distance
 // predicates cannot drop a transmission right at the sense boundary.
 // The per-candidate power test in resolve re-applies the exact
 // threshold, so extra candidates never change the observation.
-const senseMargin = 1 + 1e-9
+const SenseMargin = 1 + 1e-9
 
 // ObserveSet implements IndexedMedium.
 func (m *FriisMedium) ObserveSet(round uint64, listenerID int, at geom.Point, set *TxSet) Obs {
 	bufp := candPool.Get().(*[]int32)
-	cand := set.near((*bufp)[:0], at, m.SenseRange()*senseMargin, geom.L2)
+	cand := set.near((*bufp)[:0], at, m.SenseRange()*SenseMargin, geom.L2)
 	obs := m.resolve(round, listenerID, at, set.txs, cand)
 	*bufp = cand
 	candPool.Put(bufp)

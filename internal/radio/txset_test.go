@@ -1,6 +1,7 @@
 package radio
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -149,5 +150,85 @@ func BenchmarkObserveLinearDense(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = m.Observe(uint64(i), 0, at, txs)
+	}
+}
+
+// TestGatherBoxSupersetAndSorted is the candidate-gather property: for
+// any box and radius, GatherBox returns ascending indices containing
+// every transmission within distance r (under either metric) of any
+// point in the box — the guarantee CandidateMedium resolution relies on.
+func TestGatherBoxSupersetAndSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	var set TxSet
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		txs := make([]Tx, n)
+		for i := range txs {
+			txs[i] = Tx{Pos: geom.Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}, Frame: Frame{Src: i}}
+		}
+		cell := 0.5 + rng.Float64()*6
+		set.Reset(txs, cell)
+		for q := 0; q < 10; q++ {
+			lo := geom.Point{X: rng.Float64()*50 - 5, Y: rng.Float64()*50 - 5}
+			hi := geom.Point{X: lo.X + rng.Float64()*10, Y: lo.Y + rng.Float64()*10}
+			r := rng.Float64() * 6
+			got := set.GatherBox(nil, lo, hi, r)
+			for i := 1; i < len(got); i++ {
+				if got[i-1] >= got[i] {
+					t.Fatalf("trial %d: GatherBox not strictly ascending: %v", trial, got)
+				}
+			}
+			have := make(map[int32]bool, len(got))
+			for _, id := range got {
+				have[id] = true
+			}
+			for i, tx := range txs {
+				// Distance from the box to the transmission: clamp onto
+				// the box, then measure. Box membership must cover both
+				// metrics, so check the larger (L2) distance.
+				cl := geom.Point{
+					X: math.Min(math.Max(tx.Pos.X, lo.X), hi.X),
+					Y: math.Min(math.Max(tx.Pos.Y, lo.Y), hi.Y),
+				}
+				if geom.L2.Dist(cl, tx.Pos) <= r && !have[int32(i)] {
+					t.Fatalf("trial %d: tx %d at %v within %v of box [%v,%v] missing from gather", trial, i, tx.Pos, r, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// TestObserveCandMatchesObserve checks CandidateMedium directly: for
+// random rounds, resolving against a gathered superset must equal the
+// full linear scan for both media.
+func TestObserveCandMatchesObserve(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	friis := NewFriisMedium(3, 9)
+	friis.LossProb = 0.4
+	media := []CandidateMedium{
+		&DiskMedium{R: 3, Metric: geom.LInf},
+		&DiskMedium{R: 3, Metric: geom.L2},
+		friis,
+	}
+	var set TxSet
+	for _, m := range media {
+		sr := m.SenseRange() * SenseMargin
+		for trial := 0; trial < 30; trial++ {
+			n := 16 + rng.Intn(100)
+			txs := make([]Tx, n)
+			for i := range txs {
+				txs[i] = Tx{Pos: geom.Point{X: rng.Float64() * 25, Y: rng.Float64() * 25}, Frame: Frame{Src: i, Payload: rng.Uint64()}}
+			}
+			set.Reset(txs, m.SenseRange())
+			for q := 0; q < 20; q++ {
+				at := geom.Point{X: rng.Float64()*30 - 2, Y: rng.Float64()*30 - 2}
+				cand := set.GatherBox(nil, at, at, sr)
+				want := m.Observe(uint64(trial), 1000+q, at, txs)
+				got := m.ObserveCand(uint64(trial), 1000+q, at, txs, cand)
+				if got != want {
+					t.Fatalf("%T trial %d: ObserveCand %+v != Observe %+v", m, trial, got, want)
+				}
+			}
+		}
 	}
 }

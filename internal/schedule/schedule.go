@@ -236,20 +236,30 @@ func GreedyNodeSchedule(d *topo.Deployment, spacing float64, slotLen int, reserv
 	}
 	maxSlot := first - 1
 	var buf []int
-	used := map[int]bool{}
+	// used[s] == stamp of device i means slot s conflicts with i. The
+	// epoch stamp makes the per-device reset free, and the unordered
+	// range query skips a per-device sort: the greedy choice (smallest
+	// slot not used by any already-coloured conflicting device) is a
+	// pure function of the conflict set, so the colouring is identical
+	// to the sorted-query, map-based build.
+	var used []int
 	for i := 0; i < n; i++ {
 		if slot[i] >= 0 {
 			continue
 		}
-		clear(used)
-		buf = d.WithinRange(buf[:0], d.Pos[i], spacing)
+		stamp := i + 1
+		buf = d.WithinRangeUnordered(buf[:0], d.Pos[i], spacing)
 		for _, j := range buf {
 			if j != i && slot[j] >= 0 {
-				used[slot[j]] = true
+				s := slot[j]
+				for s >= len(used) {
+					used = append(used, 0)
+				}
+				used[s] = stamp
 			}
 		}
 		s := first
-		for used[s] {
+		for s < len(used) && used[s] == stamp {
 			s++
 		}
 		slot[i] = s

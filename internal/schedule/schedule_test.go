@@ -308,3 +308,66 @@ func BenchmarkGreedyNodeSchedule(b *testing.B) {
 		_ = GreedyNodeSchedule(d, 3*d.R, SlotLen, true, 0)
 	}
 }
+
+// TestGreedyMatchesReferenceColouring pins the stamp-based greedy build
+// to a straightforward reference implementation (sorted queries, a
+// used-slot map): the colouring must be identical, because experiment
+// results depend on the exact slot assignment.
+func TestGreedyMatchesReferenceColouring(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		d := topo.Uniform(250, 18, 3, xrand.New(seed))
+		spacing := 3 * d.R
+		for _, reserve := range []bool{false, true} {
+			ns := GreedyNodeSchedule(d, spacing, SlotLen, reserve, 7)
+			want := referenceGreedy(d, spacing, reserve, 7)
+			for i, s := range ns.Slot {
+				if s != want[i] {
+					t.Fatalf("seed %d reserve %v: device %d slot %d, reference %d", seed, reserve, i, s, want[i])
+				}
+			}
+		}
+	}
+}
+
+func referenceGreedy(d *topo.Deployment, spacing float64, reserveSourceSlot bool, srcID int) []int {
+	n := d.N()
+	slot := make([]int, n)
+	for i := range slot {
+		slot[i] = -1
+	}
+	first := 0
+	if reserveSourceSlot {
+		slot[srcID] = SourceSlot
+		first = 1
+	}
+	var buf []int
+	for i := 0; i < n; i++ {
+		if slot[i] >= 0 {
+			continue
+		}
+		used := map[int]bool{}
+		buf = d.WithinRange(buf[:0], d.Pos[i], spacing)
+		for _, j := range buf {
+			if j != i && slot[j] >= 0 {
+				used[slot[j]] = true
+			}
+		}
+		s := first
+		for used[s] {
+			s++
+		}
+		slot[i] = s
+	}
+	return slot
+}
+
+// BenchmarkGreedyNodeSchedule4096 measures schedule construction at the
+// deployment sizes of the scaling experiments.
+func BenchmarkGreedyNodeSchedule4096(b *testing.B) {
+	d := topo.Uniform(4096, 64, 4, xrand.New(1))
+	d.NeighborTable() // pre-build the spatial index; measure colouring
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = GreedyNodeSchedule(d, 3*d.R, SlotLen, true, 0)
+	}
+}

@@ -13,17 +13,37 @@
 // Rounds resolve in two phases. Phase A calls Wake on every scheduled
 // device and collects the actions; phase B resolves the channel and
 // calls Deliver on every listener. Both phases are data-parallel across
-// devices and the engine optionally fans them out over a worker pool.
+// devices and the engine optionally fans them out over a worker pool
+// with a work-stealing cursor, so hot spots (for example jammed
+// regions, whose listeners are expensive to resolve) do not serialize
+// one worker's chunk.
+//
+// The engine's hot loops are index-based and allocation-free after
+// warm-up. Devices get a compact index at Add; wake scheduling, step
+// collection and delivery all operate on dense slices keyed by that
+// index, and per-round wake-up deduplication uses a per-device epoch
+// stamp instead of sorting. The wake calendar is a bucketed wheel: a
+// ring of near-future round buckets whose backing arrays are reused
+// round after round, spilling far-future wake-ups into a sorted
+// overflow list (DisableWheel selects the legacy map+heap calendar for
+// equivalence testing). Channel resolution for dense rounds buckets the
+// round's transmissions into a spatial hash once (radio.TxSet) and
+// resolves listeners in spatial-cell order, sharing one sorted
+// candidate gather per cell (radio.CandidateMedium); observations are
+// bit-for-bit identical to the linear scan on every path.
+//
 // Determinism is preserved because media are pure functions and each
 // device only mutates itself.
 package sim
 
 import (
+	"cmp"
 	"container/heap"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"authradio/internal/geom"
 	"authradio/internal/radio"
@@ -62,7 +82,8 @@ type Step struct {
 type Device interface {
 	// ID returns the device's stable identifier, unique in the engine.
 	ID() int
-	// Pos returns the device's (fixed) position.
+	// Pos returns the device's position. Positions are fixed: the
+	// engine caches the value once at Add.
 	Pos() geom.Point
 	// Wake is called at the start of round r.
 	Wake(r uint64) Step
@@ -85,6 +106,21 @@ func (h *roundHeap) Pop() interface{} {
 	return v
 }
 
+// wheelSize is the number of round buckets in the wake wheel, a power
+// of two covering every built-in schedule cycle (the longest
+// NeighborWatchRB cycles are a few thousand rounds); wake-ups further
+// out spill to the sorted overflow list.
+const (
+	wheelSize = 4096
+	wheelMask = wheelSize - 1
+)
+
+// spillEntry is one far-future wake-up waiting outside the wheel window.
+type spillEntry struct {
+	round uint64
+	ix    int32
+}
+
 // Engine drives a set of devices over a shared medium.
 type Engine struct {
 	Medium radio.Medium
@@ -93,41 +129,73 @@ type Engine struct {
 	// rounds; experiment-level fan-out is usually preferable.
 	Workers int
 	// OnRound, if non-nil, is invoked after each simulated round with
-	// the transmissions of that round (for tracing).
+	// the transmissions of that round (for tracing). Transmissions are
+	// in ascending transmitter-id order.
 	OnRound func(r uint64, txs []radio.Tx)
 	// DisableIndex forces the legacy O(listeners × transmissions)
 	// linear channel resolution even when the medium supports indexed
 	// observation. The indexed path produces identical observations;
 	// the knob exists for equivalence testing, benchmarking, and
-	// wrapper media that override Observe but inherit ObserveSet by
-	// embedding (see radio.IndexedMedium).
+	// wrapper media that override Observe but inherit ObserveSet or
+	// ObserveCand by embedding (see radio.IndexedMedium).
 	DisableIndex bool
+	// DisableWheel routes wake-up scheduling through the legacy
+	// map+heap calendar instead of the bucketed wheel. Both schedule
+	// and fire identically; the knob exists for equivalence testing
+	// and benchmarking. The engine drains both structures, so the knob
+	// may be flipped at any time.
+	DisableWheel bool
 
+	// Dense per-device tables, keyed by the compact index assigned at
+	// Add. The hot loops never touch a map.
 	devices []Device
-	byID    map[int]Device
-	txCount []uint64 // per device-index transmissions
-	devIdx  map[int]int
+	ids     []int        // index -> device id
+	pos     []geom.Point // index -> position (cached at Add)
+	txCount []uint64     // index -> transmissions made
+	devIdx  map[int]int  // id -> index (Add/TxCount only)
 
+	// Bucketed wake wheel: wheel[r&wheelMask] holds the device indices
+	// scheduled for round r, for r in [wheelBase, wheelBase+wheelSize).
+	// Entries for later rounds wait in spill, sorted lazily.
+	wheel       [][]int32
+	wheelBase   uint64
+	wheelCount  int
+	spill       []spillEntry
+	spillMin    uint64
+	spillSorted bool
+
+	// Legacy calendar (DisableWheel).
 	heap     roundHeap
-	calendar map[uint64][]int // round -> device ids (may contain dups)
+	calendar map[uint64][]int32 // round -> device indices (may contain dups)
 
-	round     uint64 // next round to execute
-	rounds    uint64 // rounds actually resolved (non-empty)
-	listenBuf []int
+	round  uint64 // next round to execute
+	rounds uint64 // rounds actually resolved (non-empty)
 
-	wakeIDs []int
-	steps   []Step
-	txs     []radio.Tx
-	txSet   radio.TxSet
+	// Per-round scratch, reused across rounds.
+	wakeStamp []int64 // index -> r+1 of the last round the device woke in
+	wakeIxs   []int32
+	steps     []Step
+	txs       []radio.Tx
+	listenIxs []int32
+	txSet     radio.TxSet
+	cellIdx   []int32 // listener -> spatial cell
+	cellStart []int32 // cell -> offset into cellOrder (CSR)
+	cellOrder []int32 // listener indices grouped by cell
+	shardEnd  []int32 // phase-B shard -> exclusive end cell
+
+	// flatDelivery forces phase B to iterate listeners in wake order
+	// with per-listener spatial queries even when the medium supports
+	// candidate resolution (equivalence tests only).
+	flatDelivery bool
 }
 
 // NewEngine returns an engine over the given medium.
 func NewEngine(m radio.Medium) *Engine {
 	return &Engine{
-		Medium:   m,
-		byID:     make(map[int]Device),
-		devIdx:   make(map[int]int),
-		calendar: make(map[uint64][]int),
+		Medium:      m,
+		devIdx:      make(map[int]int),
+		wheel:       make([][]int32, wheelSize),
+		spillSorted: true,
 	}
 }
 
@@ -135,14 +203,17 @@ func NewEngine(m radio.Medium) *Engine {
 // duplicate ids.
 func (e *Engine) Add(d Device, firstWake uint64) {
 	id := d.ID()
-	if _, dup := e.byID[id]; dup {
+	if _, dup := e.devIdx[id]; dup {
 		panic(fmt.Sprintf("sim: duplicate device id %d", id))
 	}
-	e.byID[id] = d
-	e.devIdx[id] = len(e.devices)
+	ix := len(e.devices)
+	e.devIdx[id] = ix
 	e.devices = append(e.devices, d)
+	e.ids = append(e.ids, id)
+	e.pos = append(e.pos, d.Pos())
 	e.txCount = append(e.txCount, 0)
-	e.schedule(id, firstWake)
+	e.wakeStamp = append(e.wakeStamp, 0)
+	e.schedule(int32(ix), firstWake)
 }
 
 // Devices returns the number of registered devices.
@@ -166,14 +237,135 @@ func (e *Engine) TotalTx() uint64 {
 	return t
 }
 
-func (e *Engine) schedule(id int, r uint64) {
+// schedule queues device index ix for round r (NoWake is a no-op).
+func (e *Engine) schedule(ix int32, r uint64) {
 	if r == NoWake {
 		return
 	}
-	if _, ok := e.calendar[r]; !ok {
-		heap.Push(&e.heap, r)
+	if e.DisableWheel {
+		if e.calendar == nil {
+			e.calendar = make(map[uint64][]int32)
+		}
+		if _, ok := e.calendar[r]; !ok {
+			heap.Push(&e.heap, r)
+		}
+		e.calendar[r] = append(e.calendar[r], ix)
+		return
 	}
-	e.calendar[r] = append(e.calendar[r], id)
+	if r < e.wheelBase {
+		// A wake-up behind the wheel window (only possible by Adding a
+		// device with a past firstWake between runs): rewind the wheel
+		// by dumping it into the spill and re-basing.
+		e.rebaseTo(r)
+	}
+	if r < e.wheelBase+wheelSize {
+		slot := r & wheelMask
+		e.wheel[slot] = append(e.wheel[slot], ix)
+		e.wheelCount++
+		return
+	}
+	if e.spillSorted && len(e.spill) > 0 && r < e.spill[len(e.spill)-1].round {
+		e.spillSorted = false
+	}
+	if len(e.spill) == 0 || r < e.spillMin {
+		e.spillMin = r
+	}
+	e.spill = append(e.spill, spillEntry{round: r, ix: ix})
+}
+
+// rebaseTo empties the wheel into the spill and restarts the window at
+// round r. Cold path: only reachable by scheduling behind the window.
+func (e *Engine) rebaseTo(r uint64) {
+	for slot, b := range e.wheel {
+		if len(b) == 0 {
+			continue
+		}
+		// Reconstruct each entry's absolute round from its slot.
+		round := e.wheelBase + (uint64(slot)-e.wheelBase)&wheelMask
+		for _, ix := range b {
+			e.spill = append(e.spill, spillEntry{round: round, ix: ix})
+		}
+		e.wheel[slot] = b[:0]
+	}
+	e.wheelCount = 0
+	e.spillSorted = false
+	if len(e.spill) > 0 {
+		e.spillMin = e.spill[0].round
+		for _, en := range e.spill[1:] {
+			if en.round < e.spillMin {
+				e.spillMin = en.round
+			}
+		}
+		if r < e.spillMin {
+			e.spillMin = r
+		}
+	} else {
+		e.spillMin = r
+	}
+	e.wheelBase = r
+}
+
+// sortSpill establishes the spill's round order. The sort is stable so
+// that same-round wake-ups fire in scheduling order, exactly like the
+// calendar path.
+func (e *Engine) sortSpill() {
+	if !e.spillSorted {
+		slices.SortStableFunc(e.spill, func(a, b spillEntry) int { return cmp.Compare(a.round, b.round) })
+		e.spillSorted = true
+	}
+}
+
+// unspill moves every spill entry inside the current wheel window into
+// its bucket. The spill must be sorted.
+func (e *Engine) unspill() {
+	end := e.wheelBase + wheelSize
+	n := 0
+	for ; n < len(e.spill) && e.spill[n].round < end; n++ {
+		en := e.spill[n]
+		slot := en.round & wheelMask
+		e.wheel[slot] = append(e.wheel[slot], en.ix)
+		e.wheelCount++
+	}
+	if n > 0 {
+		rest := copy(e.spill, e.spill[n:])
+		e.spill = e.spill[:rest]
+	}
+	if len(e.spill) > 0 {
+		e.spillMin = e.spill[0].round
+	}
+}
+
+// wheelNext returns the earliest wheel-scheduled round, migrating spill
+// entries into the window as it comes within reach, and advances
+// wheelBase past empty buckets so repeated peeks are O(1).
+func (e *Engine) wheelNext() (uint64, bool) {
+	if e.wheelCount == 0 {
+		if len(e.spill) == 0 {
+			return 0, false
+		}
+		e.sortSpill()
+		e.wheelBase = e.spill[0].round
+		e.unspill()
+	} else if len(e.spill) > 0 && e.spillMin < e.wheelBase+wheelSize {
+		e.sortSpill()
+		e.unspill()
+	}
+	for r := e.wheelBase; ; r++ {
+		if len(e.wheel[r&wheelMask]) > 0 {
+			e.wheelBase = r
+			return r, true
+		}
+	}
+}
+
+// nextRound peeks the earliest scheduled round across both calendar
+// structures.
+func (e *Engine) nextRound() (uint64, bool) {
+	r, ok := e.wheelNext()
+	if len(e.heap) > 0 && (!ok || e.heap[0] < r) {
+		return e.heap[0], true
+	}
+	return r, ok
 }
 
 // Stop functions are polled between rounds; returning true ends the run.
@@ -185,17 +377,37 @@ type Stop func(round uint64) bool
 // resolved round). It returns the round at which execution stopped.
 func (e *Engine) RunUntil(stop Stop, pollEvery, maxRound uint64) uint64 {
 	lastPoll := uint64(0)
-	for len(e.heap) > 0 {
-		r := e.heap[0]
+	for {
+		r, ok := e.nextRound()
+		if !ok {
+			return e.round
+		}
 		if r >= maxRound {
 			e.round = maxRound
 			return maxRound
 		}
-		heap.Pop(&e.heap)
-		ids := e.calendar[r]
-		delete(e.calendar, r)
+		// Detach the round's wake buckets. The wheel bucket's backing
+		// array is reattached (emptied) after the round: new wake-ups
+		// for round r+wheelSize spill rather than landing in the
+		// detached slot, so the array is free for reuse.
+		var wbkt, hbkt []int32
+		slot := -1
+		if len(e.wheel[r&wheelMask]) > 0 && r == e.wheelBase {
+			slot = int(r & wheelMask)
+			wbkt = e.wheel[slot]
+			e.wheel[slot] = nil
+			e.wheelCount -= len(wbkt)
+		}
+		if len(e.heap) > 0 && e.heap[0] == r {
+			heap.Pop(&e.heap)
+			hbkt = e.calendar[r]
+			delete(e.calendar, r)
+		}
 		e.round = r
-		e.execRound(r, ids)
+		e.execRound(r, wbkt, hbkt)
+		if slot >= 0 {
+			e.wheel[slot] = wbkt[:0]
+		}
 		e.round = r + 1
 		e.rounds++
 		if stop != nil && (pollEvery == 0 || r >= lastPoll+pollEvery) {
@@ -205,57 +417,74 @@ func (e *Engine) RunUntil(stop Stop, pollEvery, maxRound uint64) uint64 {
 			}
 		}
 	}
-	return e.round
 }
 
 // minIndexedTxs is the round density below which building the spatial
 // transmission index costs more than the linear scans it saves.
 const minIndexedTxs = 16
 
-// execRound resolves one round for the given (possibly duplicated)
-// device ids.
-func (e *Engine) execRound(r uint64, ids []int) {
-	// Deduplicate and order wake-ups for determinism.
-	sort.Ints(ids)
-	e.wakeIDs = e.wakeIDs[:0]
-	prev := -1
-	for _, id := range ids {
-		if id != prev {
-			e.wakeIDs = append(e.wakeIDs, id)
-			prev = id
+// execRound resolves one round for the device indices in the given
+// buckets (either may be nil and both may contain duplicates).
+func (e *Engine) execRound(r uint64, bkt1, bkt2 []int32) {
+	// Deduplicate wake-ups with a per-device epoch stamp: a device is
+	// woken at most once per round no matter how often it was
+	// scheduled. Rounds are strictly increasing, so the stamp r+1 can
+	// never collide with a stale one.
+	stamp := int64(r + 1)
+	e.wakeIxs = e.wakeIxs[:0]
+	for _, bkt := range [2][]int32{bkt1, bkt2} {
+		for _, ix := range bkt {
+			if e.wakeStamp[ix] != stamp {
+				e.wakeStamp[ix] = stamp
+				e.wakeIxs = append(e.wakeIxs, ix)
+			}
 		}
 	}
+	wakes := e.wakeIxs
 
 	// Phase A: wake devices, collect steps.
-	if cap(e.steps) < len(e.wakeIDs) {
-		e.steps = make([]Step, len(e.wakeIDs))
+	if cap(e.steps) < len(wakes) {
+		e.steps = make([]Step, len(wakes))
 	}
-	steps := e.steps[:len(e.wakeIDs)]
-	e.parallelDo(len(e.wakeIDs), func(i int) {
-		steps[i] = e.byID[e.wakeIDs[i]].Wake(r)
+	steps := e.steps[:len(wakes)]
+	e.parallelDo(len(wakes), func(i int) {
+		steps[i] = e.devices[wakes[i]].Wake(r)
 	})
 
-	// Collect transmissions and listeners.
+	// Collect transmissions and listeners, and schedule next wakes.
 	e.txs = e.txs[:0]
-	e.listenBuf = e.listenBuf[:0]
+	e.listenIxs = e.listenIxs[:0]
+	srcSorted := true
+	lastSrc := -1 << 62
 	for i, st := range steps {
-		id := e.wakeIDs[i]
+		ix := wakes[i]
 		switch st.Action {
 		case Transmit:
-			d := e.byID[id]
 			f := st.Frame
-			f.Src = id
-			e.txs = append(e.txs, radio.Tx{Pos: d.Pos(), Frame: f})
-			e.txCount[e.devIdx[id]]++
+			f.Src = e.ids[ix]
+			if f.Src < lastSrc {
+				srcSorted = false
+			}
+			lastSrc = f.Src
+			e.txs = append(e.txs, radio.Tx{Pos: e.pos[ix], Frame: f})
+			e.txCount[ix]++
 		case Listen:
-			e.listenBuf = append(e.listenBuf, i)
+			e.listenIxs = append(e.listenIxs, ix)
 		}
 		if st.NextWake != NoWake {
 			if st.NextWake <= r {
-				panic(fmt.Sprintf("sim: device %d scheduled non-future wake %d at round %d", id, st.NextWake, r))
+				panic(fmt.Sprintf("sim: device %d scheduled non-future wake %d at round %d", e.ids[ix], st.NextWake, r))
 			}
-			e.schedule(id, st.NextWake)
+			e.schedule(ix, st.NextWake)
 		}
+	}
+	// Canonical transmission order: ascending transmitter id,
+	// independent of wake bucketing. Media accumulate interference in
+	// transmission order, so this keeps observations (and OnRound
+	// traces) bit-for-bit identical across calendar knobs. Wake order
+	// usually is id order already, making the check free.
+	if !srcSorted {
+		slices.SortFunc(e.txs, func(a, b radio.Tx) int { return cmp.Compare(a.Frame.Src, b.Frame.Src) })
 	}
 
 	// Phase B: resolve the channel for each listener. For dense rounds
@@ -263,39 +492,188 @@ func (e *Engine) execRound(r uint64, ids []int) {
 	// hash once and share it across all listeners, so each listener
 	// examines only transmissions within sense range instead of the
 	// whole round: O(listeners × local) instead of O(listeners × txs).
-	// Both paths produce bit-for-bit identical observations (media are
+	// All paths produce bit-for-bit identical observations (media are
 	// pure functions of (round, listener, txs)).
-	listeners := e.listenBuf
-	txs := e.txs
-	observe := func(d Device) radio.Obs {
-		return e.Medium.Observe(r, d.ID(), d.Pos(), txs)
+	if len(e.listenIxs) > 0 {
+		e.deliver(r)
 	}
-	if im, ok := e.Medium.(radio.IndexedMedium); ok && !e.DisableIndex && len(listeners) > 0 && len(txs) >= minIndexedTxs {
+
+	if e.OnRound != nil {
+		e.OnRound(r, e.txs)
+	}
+}
+
+// deliver runs phase B for the round's listeners.
+func (e *Engine) deliver(r uint64) {
+	listeners := e.listenIxs
+	txs := e.txs
+	if !e.DisableIndex && len(txs) >= minIndexedTxs {
 		// Index only for finite sense ranges: an unbounded medium gains
 		// nothing from spatial bucketing.
 		if sr := e.Medium.SenseRange(); sr > 0 && !math.IsInf(sr, 1) {
-			e.txSet.Reset(txs, sr)
-			observe = func(d Device) radio.Obs {
-				return im.ObserveSet(r, d.ID(), d.Pos(), &e.txSet)
+			if cm, ok := e.Medium.(radio.CandidateMedium); ok && !e.flatDelivery {
+				e.txSet.Reset(txs, sr)
+				e.deliverCells(r, cm, sr*radio.SenseMargin)
+				return
+			}
+			if im, ok := e.Medium.(radio.IndexedMedium); ok {
+				e.txSet.Reset(txs, sr)
+				e.parallelDo(len(listeners), func(j int) {
+					ix := listeners[j]
+					e.devices[ix].Deliver(r, im.ObserveSet(r, e.ids[ix], e.pos[ix], &e.txSet))
+				})
+				return
 			}
 		}
 	}
 	e.parallelDo(len(listeners), func(j int) {
-		i := listeners[j]
-		d := e.byID[e.wakeIDs[i]]
-		d.Deliver(r, observe(d))
+		ix := listeners[j]
+		e.devices[ix].Deliver(r, e.Medium.Observe(r, e.ids[ix], e.pos[ix], txs))
 	})
+}
 
-	if e.OnRound != nil {
-		e.OnRound(r, txs)
+// shardTarget is the number of listeners a phase-B shard aims for:
+// small enough that work stealing can rebalance around expensive cells,
+// large enough to amortize the steal.
+const shardTarget = 64
+
+// candPool recycles candidate buffers across the workers of concurrent
+// engines.
+var candPool = sync.Pool{New: func() interface{} { return new([]int32) }}
+
+// deliverCells resolves the round's listeners in spatial-cell order:
+// listeners are grouped by the transmission index's cells (counting
+// sort, allocation-free after warm-up), one sorted candidate superset
+// is gathered per cell and shared by every listener in it, and cells
+// are packed into contiguous shards claimed by workers through an
+// atomic cursor. Nearby listeners therefore share both the candidate
+// gather and its cache lines, and a jammed (expensive) region is split
+// across many shards instead of serializing one worker's chunk.
+func (e *Engine) deliverCells(r uint64, cm radio.CandidateMedium, queryR float64) {
+	listeners := e.listenIxs
+	txs := e.txs
+	nl := len(listeners)
+	cells := e.txSet.Cells()
+
+	// Counting sort of listeners by cell, building the CSR offsets.
+	if cap(e.cellStart) < cells+1 {
+		e.cellStart = make([]int32, cells+1)
 	}
+	cs := e.cellStart[:cells+1]
+	for i := range cs {
+		cs[i] = 0
+	}
+	if cap(e.cellIdx) < nl {
+		e.cellIdx = make([]int32, nl)
+	}
+	ci := e.cellIdx[:nl]
+	for j, ix := range listeners {
+		c := int32(e.txSet.CellOf(e.pos[ix]))
+		ci[j] = c
+		cs[c+1]++
+	}
+	for c := 1; c <= cells; c++ {
+		cs[c] += cs[c-1]
+	}
+	if cap(e.cellOrder) < nl {
+		e.cellOrder = make([]int32, nl)
+	}
+	ord := e.cellOrder[:nl]
+	for j, ix := range listeners {
+		c := ci[j]
+		ord[cs[c]] = ix
+		cs[c]++
+	}
+	for c := cells; c > 0; c-- {
+		cs[c] = cs[c-1]
+	}
+	cs[0] = 0
+
+	// Pack cells into contiguous shards of ~shardTarget listeners.
+	e.shardEnd = e.shardEnd[:0]
+	cut := int32(0)
+	for c := 0; c < cells; c++ {
+		if cs[c+1]-cut >= shardTarget {
+			e.shardEnd = append(e.shardEnd, int32(c+1))
+			cut = cs[c+1]
+		}
+	}
+	if cut < int32(nl) {
+		e.shardEnd = append(e.shardEnd, int32(cells))
+	}
+
+	runShard := func(s int, cand *[]int32) {
+		lo := int32(0)
+		if s > 0 {
+			lo = e.shardEnd[s-1]
+		}
+		for c := lo; c < e.shardEnd[s]; c++ {
+			a, b := cs[c], cs[c+1]
+			if a == b {
+				continue
+			}
+			// One candidate gather per cell, over the bounding box of
+			// the cell's listeners (their positions may clamp into a
+			// border cell from outside the grid).
+			pmin := e.pos[ord[a]]
+			pmax := pmin
+			for _, ix := range ord[a+1 : b] {
+				p := e.pos[ix]
+				pmin.X = math.Min(pmin.X, p.X)
+				pmin.Y = math.Min(pmin.Y, p.Y)
+				pmax.X = math.Max(pmax.X, p.X)
+				pmax.Y = math.Max(pmax.Y, p.Y)
+			}
+			*cand = e.txSet.GatherBox((*cand)[:0], pmin, pmax, queryR)
+			for _, ix := range ord[a:b] {
+				e.devices[ix].Deliver(r, cm.ObserveCand(r, e.ids[ix], e.pos[ix], txs, *cand))
+			}
+		}
+	}
+
+	shards := len(e.shardEnd)
+	w := e.Workers
+	if w > shards {
+		w = shards
+	}
+	if w <= 1 {
+		bufp := candPool.Get().(*[]int32)
+		for s := 0; s < shards; s++ {
+			runShard(s, bufp)
+		}
+		candPool.Put(bufp)
+		return
+	}
+	var cursor atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			bufp := candPool.Get().(*[]int32)
+			for {
+				s := int(cursor.Add(1)) - 1
+				if s >= shards {
+					break
+				}
+				runShard(s, bufp)
+			}
+			candPool.Put(bufp)
+		}()
+	}
+	wg.Wait()
 }
 
 // parallelDo runs f(i) for i in [0,n), fanning out across Workers
 // goroutines when configured and n is large enough to amortize the
-// synchronization cost.
+// synchronization cost. Workers claim fixed-size index blocks through
+// an atomic cursor, so uneven per-index cost rebalances across workers
+// instead of stretching one pre-assigned chunk.
 func (e *Engine) parallelDo(n int, f func(int)) {
-	const minPerWorker = 16
+	const (
+		minPerWorker = 16
+		blockSize    = 16
+	)
 	w := e.Workers
 	if w > n/minPerWorker {
 		w = n / minPerWorker
@@ -306,20 +684,27 @@ func (e *Engine) parallelDo(n int, f func(int)) {
 		}
 		return
 	}
+	blocks := (n + blockSize - 1) / blockSize
+	var cursor atomic.Int32
 	var wg sync.WaitGroup
-	chunk := (n + w - 1) / w
-	for start := 0; start < n; start += chunk {
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
-		go func(s, t int) {
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
 			defer wg.Done()
-			for i := s; i < t; i++ {
-				f(i)
+			for {
+				b := int(cursor.Add(1)) - 1
+				if b >= blocks {
+					return
+				}
+				end := (b + 1) * blockSize
+				if end > n {
+					end = n
+				}
+				for i := b * blockSize; i < end; i++ {
+					f(i)
+				}
 			}
-		}(start, end)
+		}()
 	}
 	wg.Wait()
 }

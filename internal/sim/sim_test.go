@@ -6,6 +6,7 @@ import (
 
 	"authradio/internal/geom"
 	"authradio/internal/radio"
+	"authradio/internal/xrand"
 )
 
 // scripted is a test device driven by a preprogrammed schedule of steps.
@@ -394,3 +395,277 @@ func BenchmarkEngineRound(b *testing.B) {
 		e.RunUntil(func(uint64) bool { return true }, 0, uint64(i+2))
 	}
 }
+
+// chaosDevice drives a pseudo-random but fully deterministic workload:
+// every wake hashes (seed, id, round) into an action and a next wake
+// that mixes near jumps, mid jumps, far jumps beyond the wheel window
+// (forcing spill traffic), and occasional NoWake. It records its wake
+// rounds and observations for exact cross-engine comparison.
+type chaosDevice struct {
+	id    int
+	pos   geom.Point
+	seed  uint64
+	wakes []uint64
+	obs   []radio.Obs
+}
+
+func (d *chaosDevice) ID() int         { return d.id }
+func (d *chaosDevice) Pos() geom.Point { return d.pos }
+
+func (d *chaosDevice) Wake(r uint64) Step {
+	d.wakes = append(d.wakes, r)
+	h := xrand.Hash64(d.seed, uint64(d.id), r)
+	var st Step
+	switch h % 4 {
+	case 0:
+		st.Action = Transmit
+		st.Frame = radio.Frame{Kind: radio.KindData, Payload: h}
+	case 1, 2:
+		st.Action = Listen
+	default:
+		st.Action = Sleep
+	}
+	j := (h >> 8) % 16
+	switch {
+	case j == 0:
+		st.NextWake = NoWake
+	case j == 1: // far beyond the wheel window: exercises the spill
+		st.NextWake = r + wheelSize + 1 + (h>>16)%(2*wheelSize)
+	case j == 2: // exactly at the window boundary
+		st.NextWake = r + wheelSize
+	case j <= 5: // mid-range jump
+		st.NextWake = r + 64 + (h>>16)%1024
+	default: // near jump
+		st.NextWake = r + 1 + (h>>16)%8
+	}
+	return st
+}
+
+func (d *chaosDevice) Deliver(r uint64, obs radio.Obs) { d.obs = append(d.obs, obs) }
+
+// buildChaos populates an engine with n chaos devices on a unit-density
+// square (some of them far outliers, so listener cells clamp at the
+// spatial-hash border), plus duplicate same-round and far-future manual
+// schedules.
+func buildChaos(e *Engine, n int, seed uint64) []*chaosDevice {
+	side := 1
+	for side*side < n {
+		side++
+	}
+	devs := make([]*chaosDevice, n)
+	for i := range devs {
+		p := geom.Point{X: float64(i % side), Y: float64(i / side)}
+		switch i % 97 {
+		case 13:
+			p = geom.Point{X: -50, Y: p.Y} // outside the tx bounding box
+		case 51:
+			p = geom.Point{X: p.X + 500, Y: p.Y + 500}
+		}
+		devs[i] = &chaosDevice{id: i, pos: p, seed: seed}
+		e.Add(devs[i], uint64(1+i%5))
+	}
+	// Duplicate wake-ups: same round twice, and a far-future duplicate
+	// that lands in the spill twice.
+	e.schedule(0, 3)
+	e.schedule(0, 3)
+	e.schedule(1, wheelSize*2+17)
+	e.schedule(1, wheelSize*2+17)
+	return devs
+}
+
+// chaosEqual fails the test unless every device woke in the same rounds
+// with the same observations in both runs.
+func chaosEqual(t *testing.T, label string, a, b []*chaosDevice) {
+	t.Helper()
+	for i := range a {
+		if len(a[i].wakes) != len(b[i].wakes) {
+			t.Fatalf("%s: device %d woke %d vs %d times", label, i, len(a[i].wakes), len(b[i].wakes))
+		}
+		for k := range a[i].wakes {
+			if a[i].wakes[k] != b[i].wakes[k] {
+				t.Fatalf("%s: device %d wake %d: round %d vs %d", label, i, k, a[i].wakes[k], b[i].wakes[k])
+			}
+		}
+		if len(a[i].obs) != len(b[i].obs) {
+			t.Fatalf("%s: device %d observed %d vs %d times", label, i, len(a[i].obs), len(b[i].obs))
+		}
+		for k := range a[i].obs {
+			if a[i].obs[k] != b[i].obs[k] {
+				t.Fatalf("%s: device %d obs %d: %+v vs %+v", label, i, k, a[i].obs[k], b[i].obs[k])
+			}
+		}
+	}
+}
+
+// TestWheelMatchesHeapCalendar is the wake-wheel equivalence property:
+// under a workload mixing near wakes, window-boundary wakes, far-future
+// spills, duplicate same-round schedules and NoWake, the wheel must
+// schedule and fire exactly like the legacy map+heap calendar — same
+// wake rounds, same observations, same resolved-round count.
+func TestWheelMatchesHeapCalendar(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		run := func(disableWheel bool) (*Engine, []*chaosDevice) {
+			e := NewEngine(&radio.DiskMedium{R: 2, Metric: geom.LInf})
+			e.DisableWheel = disableWheel
+			devs := buildChaos(e, 150, seed)
+			e.RunUntil(nil, 0, 30_000)
+			return e, devs
+		}
+		he, heapDevs := run(true)
+		we, wheelDevs := run(false)
+		if he.ResolvedRounds() != we.ResolvedRounds() || he.Round() != we.Round() {
+			t.Fatalf("seed %d: heap resolved %d rounds (ending %d), wheel %d (ending %d)",
+				seed, he.ResolvedRounds(), he.Round(), we.ResolvedRounds(), we.Round())
+		}
+		chaosEqual(t, "wheel vs heap", heapDevs, wheelDevs)
+	}
+}
+
+// TestWheelMatchesHeapChunkedRuns re-runs the equivalence with the
+// wheel engine driven through many small RunUntil windows, exercising
+// the peek-without-pop path at every maxRound boundary.
+func TestWheelMatchesHeapChunkedRuns(t *testing.T) {
+	heapEng := NewEngine(&radio.DiskMedium{R: 2, Metric: geom.LInf})
+	heapEng.DisableWheel = true
+	heapDevs := buildChaos(heapEng, 150, 7)
+	heapEng.RunUntil(nil, 0, 30_000)
+
+	wheelEng := NewEngine(&radio.DiskMedium{R: 2, Metric: geom.LInf})
+	wheelDevs := buildChaos(wheelEng, 150, 7)
+	for max := uint64(777); wheelEng.Round() < 30_000; max += 777 {
+		if max > 30_000 {
+			max = 30_000
+		}
+		wheelEng.RunUntil(nil, 0, max)
+	}
+	if heapEng.ResolvedRounds() != wheelEng.ResolvedRounds() {
+		t.Fatalf("heap resolved %d rounds, chunked wheel %d", heapEng.ResolvedRounds(), wheelEng.ResolvedRounds())
+	}
+	chaosEqual(t, "chunked wheel vs heap", heapDevs, wheelDevs)
+}
+
+// TestWheelExactSpillBoundaries pins the wheel's window arithmetic with
+// a scripted device waking exactly at, just past, and far past the
+// window edge.
+func TestWheelExactSpillBoundaries(t *testing.T) {
+	rounds := []uint64{1, 2, wheelSize - 1, wheelSize, wheelSize + 1, 2*wheelSize + 3, 5*wheelSize + 7}
+	run := func(disableWheel bool) []uint64 {
+		e := newTestEngine()
+		e.DisableWheel = disableWheel
+		a := newScripted(0, geom.Point{})
+		for i, r := range rounds {
+			next := NoWake
+			if i+1 < len(rounds) {
+				next = rounds[i+1]
+			}
+			a.plan[r] = Step{Action: Listen, NextWake: next}
+		}
+		e.Add(a, rounds[0])
+		e.RunUntil(nil, 0, NoWake-1)
+		return a.wakes
+	}
+	heapWakes := run(true)
+	wheelWakes := run(false)
+	if len(heapWakes) != len(rounds) {
+		t.Fatalf("heap calendar fired %d wakes, want %d", len(heapWakes), len(rounds))
+	}
+	for i := range rounds {
+		if heapWakes[i] != rounds[i] || wheelWakes[i] != rounds[i] {
+			t.Fatalf("wake %d: heap %d wheel %d, want %d", i, heapWakes[i], wheelWakes[i], rounds[i])
+		}
+	}
+}
+
+// TestCellShardedMatchesFlat is the phase-B ordering property: cell-
+// ordered, shard-stolen delivery must produce exactly the observations
+// of flat wake-order delivery and of the fully linear scan, across
+// worker counts, for both built-in media (including lossy Friis, whose
+// per-candidate fade hash would expose any listener/candidate mixup).
+func TestCellShardedMatchesFlat(t *testing.T) {
+	media := map[string]func() radio.Medium{
+		"disk-linf": func() radio.Medium { return &radio.DiskMedium{R: 2.5, Metric: geom.LInf} },
+		"disk-l2":   func() radio.Medium { return &radio.DiskMedium{R: 2.5, Metric: geom.L2} },
+		"friis": func() radio.Medium {
+			m := radio.NewFriisMedium(2.5, 33)
+			m.LossProb = 0.3
+			return m
+		},
+	}
+	for name, mk := range media {
+		var ref []*chaosDevice
+		for _, cfg := range []struct {
+			label   string
+			flat    bool
+			linear  bool
+			workers int
+		}{
+			{label: "cells", flat: false},
+			{label: "flat", flat: true},
+			{label: "linear", linear: true},
+			{label: "cells-parallel", flat: false, workers: 4},
+		} {
+			e := NewEngine(mk())
+			e.flatDelivery = cfg.flat
+			e.DisableIndex = cfg.linear
+			e.Workers = cfg.workers
+			devs := buildChaos(e, 400, 21)
+			e.RunUntil(nil, 0, 500)
+			if ref == nil {
+				ref = devs
+				continue
+			}
+			chaosEqual(t, name+": "+cfg.label+" vs cells", ref, devs)
+		}
+	}
+}
+
+// countingCandMedium tallies candidate-path resolutions so tests can
+// assert the engine actually took the cell-sharded path.
+type countingCandMedium struct {
+	radio.CandidateMedium
+	cand int32
+}
+
+func (c *countingCandMedium) ObserveCand(round uint64, listenerID int, at geom.Point, txs []radio.Tx, cand []int32) radio.Obs {
+	atomic.AddInt32(&c.cand, 1)
+	return c.CandidateMedium.ObserveCand(round, listenerID, at, txs, cand)
+}
+
+func TestDenseRoundUsesCandidatePath(t *testing.T) {
+	cm := &countingCandMedium{CandidateMedium: radio.NewFriisMedium(2.5, 5)}
+	e := NewEngine(cm)
+	denseScripted(e, 400)
+	e.RunUntil(nil, 0, 10)
+	if cm.cand == 0 {
+		t.Fatal("dense round did not use the candidate (cell-sharded) path")
+	}
+}
+
+// strideDevice sleeps in a fixed stride, exercising pure scheduler cost
+// (no transmissions, no listeners).
+type strideDevice struct {
+	id     int
+	stride uint64
+}
+
+func (d *strideDevice) ID() int                   { return d.id }
+func (d *strideDevice) Pos() geom.Point           { return geom.Point{} }
+func (d *strideDevice) Wake(r uint64) Step        { return Step{Action: Sleep, NextWake: r + d.stride} }
+func (d *strideDevice) Deliver(uint64, radio.Obs) {}
+
+// benchSparseCalendar measures scheduler overhead on a sparse calendar:
+// many scheduled rounds, few devices each. Strides mix near-future
+// rounds with far-future ones beyond the wheel window.
+func benchSparseCalendar(b *testing.B, disableWheel bool) {
+	e := NewEngine(&radio.DiskMedium{R: 1, Metric: geom.LInf})
+	e.DisableWheel = disableWheel
+	strides := []uint64{7, 13, 40, 97, 256, 601, 1023, 2049, wheelSize + 13, 2*wheelSize + 1}
+	for i := 0; i < 32; i++ {
+		e.Add(&strideDevice{id: i, stride: strides[i%len(strides)]}, uint64(1+i))
+	}
+	b.ResetTimer()
+	e.RunUntil(func(uint64) bool { return e.ResolvedRounds() >= uint64(b.N) }, 0, NoWake-1)
+}
+
+func BenchmarkSparseCalendarWheel(b *testing.B) { benchSparseCalendar(b, false) }
+func BenchmarkSparseCalendarHeap(b *testing.B)  { benchSparseCalendar(b, true) }

@@ -53,8 +53,10 @@ func (d *Deployment) N() int { return len(d.Pos) }
 // number of nodes divided by the area of the map").
 func (d *Deployment) Density() float64 { return float64(len(d.Pos)) / d.Area.Area() }
 
-// Index returns (building lazily) the spatial index over the positions.
-// The deployment must not be mutated after the first call.
+// Index returns (building lazily) the spatial index over the positions;
+// the index shares geom.GridIndex's CSR layout, so building it is two
+// array allocations even for many-thousand-device deployments. The
+// deployment must not be mutated after the first call.
 func (d *Deployment) Index() *geom.Index {
 	if d.index == nil {
 		cell := d.R
@@ -84,6 +86,14 @@ func (d *Deployment) Neighbors(dst []int, i int) []int {
 // WithinRange appends to dst all device ids within distance r of p.
 func (d *Deployment) WithinRange(dst []int, p geom.Point, r float64) []int {
 	return d.index4(dst, p, r)
+}
+
+// WithinRangeUnordered is WithinRange without the sort: ids arrive
+// grouped by spatial-hash cell. Callers that treat the result as a set
+// (conflict-graph colouring, counting) avoid an O(k log k) sort per
+// query.
+func (d *Deployment) WithinRangeUnordered(dst []int, p geom.Point, r float64) []int {
+	return d.Index().Within(dst, p, r, d.Metric)
 }
 
 func (d *Deployment) index4(dst []int, p geom.Point, r float64) []int {

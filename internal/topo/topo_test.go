@@ -244,3 +244,15 @@ func BenchmarkNeighborTable4000(b *testing.B) {
 		_ = d.NeighborTable()
 	}
 }
+
+// BenchmarkNeighborTableBuild4096 measures the full build cost at 4096+
+// devices — spatial index construction included — which is what the
+// experiment harness pays per fresh deployment.
+func BenchmarkNeighborTableBuild4096(b *testing.B) {
+	pos := Uniform(4096, 64, 4, xrand.New(1)).Pos
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := &Deployment{Area: geom.Square(64), Pos: pos, R: 4, Metric: geom.L2}
+		_ = d.NeighborTable()
+	}
+}
