@@ -20,6 +20,8 @@ import (
 	"os"
 
 	"authradio/internal/experiment"
+
+	_ "authradio/internal/protocols"
 )
 
 func main() {

@@ -2,30 +2,42 @@
 // prints its outcome: completion percentage, correctness, rounds, and
 // broadcast counts — the paper's four measurements.
 //
+// Protocols are addressed by driver registry name or alias; `rbsim
+// -proto list` enumerates everything registered, including protocols
+// wired in outside core (e.g. GossipRB).
+//
 // Examples:
 //
+//	rbsim -proto list
 //	rbsim -proto nw -nodes 600 -side 20 -range 4 -liars 0.05
 //	rbsim -proto mp -t 3 -grid 9 -range 2 -msg 0b1011 -msglen 4
-//	rbsim -proto epidemic -nodes 500 -side 20 -range 3
+//	rbsim -proto gossip -nodes 500 -side 20 -range 3
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"slices"
 	"strconv"
 	"strings"
 
 	"authradio/internal/core"
 	"authradio/internal/experiment"
 	"authradio/internal/metrics"
-	"authradio/internal/radio"
 	"authradio/internal/trace"
+
+	_ "authradio/internal/protocols"
 )
+
+// defaultMaxRounds is the round cap shared by the -maxrounds flag
+// default and runScenario's fallback for an explicit zero.
+const defaultMaxRounds = 5_000_000
 
 func main() {
 	var (
-		proto    = flag.String("proto", "nw", "protocol: nw, nw2, mp, epidemic")
+		proto    = flag.String("proto", "nw", "protocol registry name or alias; 'list' enumerates all drivers")
 		nodes    = flag.Int("nodes", 600, "device count (uniform/clustered)")
 		side     = flag.Float64("side", 20, "map side length")
 		grid     = flag.Int("grid", 0, "use a WxW analytical grid instead of a random map")
@@ -41,24 +53,19 @@ func main() {
 		budget   = flag.Int("budget", 0, "per-jammer broadcast budget (0 = unlimited)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		rep      = flag.Int("rep", 0, "repetition index (varies deployment/roles)")
-		maxR     = flag.Uint64("maxrounds", 5_000_000, "round cap")
+		maxR     = flag.Uint64("maxrounds", defaultMaxRounds, "round cap")
 		stats    = flag.Bool("stats", false, "print channel statistics (tx by kind, utilisation)")
 		traceN   = flag.Int("trace", 0, "log the first N transmissions to stderr")
 	)
 	flag.Parse()
 
-	var p core.Protocol
-	switch strings.ToLower(*proto) {
-	case "nw", "neighborwatch", "neighborwatchrb":
-		p = core.NeighborWatchRB
-	case "nw2", "2vote":
-		p = core.NeighborWatch2RB
-	case "mp", "multipath", "multipathrb":
-		p = core.MultiPathRB
-	case "epidemic", "flood":
-		p = core.EpidemicRB
-	default:
-		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *proto)
+	if strings.EqualFold(*proto, "list") {
+		fmt.Print(protocolList())
+		return
+	}
+	drv, ok := core.Lookup(*proto)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown protocol %q; try -proto list\n", *proto)
 		os.Exit(2)
 	}
 
@@ -69,21 +76,21 @@ func main() {
 	}
 
 	s := experiment.Scenario{
-		Name:      "rbsim",
-		Protocol:  p,
-		Deploy:    experiment.Uniform,
-		Nodes:     *nodes,
-		MapSide:   *side,
-		Range:     *rng,
-		MsgBits:   bits,
-		MsgLen:    *msgLen,
-		T:         *t,
-		LiarFrac:  *liars,
-		JamFrac:   *jammers,
-		CrashFrac: *crash,
-		JamBudget: *budget,
-		Seed:      *seed,
-		MaxRounds: *maxR,
+		Name:         "rbsim",
+		ProtocolName: drv.Name(),
+		Deploy:       experiment.Uniform,
+		Nodes:        *nodes,
+		MapSide:      *side,
+		Range:        *rng,
+		MsgBits:      bits,
+		MsgLen:       *msgLen,
+		T:            *t,
+		LiarFrac:     *liars,
+		JamFrac:      *jammers,
+		CrashFrac:    *crash,
+		JamBudget:    *budget,
+		Seed:         *seed,
+		MaxRounds:    *maxR,
 	}
 	if *grid > 0 {
 		s.Deploy = experiment.GridDeploy
@@ -95,7 +102,7 @@ func main() {
 	}
 
 	res, coll := runScenario(s, *rep, *stats, *traceN)
-	fmt.Printf("protocol:        %v\n", p)
+	fmt.Printf("protocol:        %s\n", drv.Name())
 	fmt.Printf("honest nodes:    %d\n", res.Honest)
 	fmt.Printf("completed:       %d (%.1f%%)\n", res.Complete, 100*res.CompletionFrac())
 	fmt.Printf("correct:         %d (%.1f%% of completed)\n", res.Correct, 100*res.CorrectFrac())
@@ -111,31 +118,53 @@ func main() {
 	}
 }
 
-// runScenario builds and runs the scenario like Scenario.Run, but with
-// optional channel statistics and tracing attached to the engine.
-func runScenario(s experiment.Scenario, rep int, stats bool, traceN int) (core.Result, *metrics.Collector) {
-	if !stats && traceN == 0 {
-		return s.Run(rep), nil
+// protocolList renders the driver registry, one line per protocol with
+// its aliases.
+func protocolList() string {
+	var b strings.Builder
+	for _, name := range core.Names() {
+		drv, _ := core.Lookup(name)
+		aliases := slices.Clone(drv.Aliases())
+		slices.Sort(aliases)
+		fmt.Fprintf(&b, "%-22s", name)
+		if len(aliases) > 0 {
+			fmt.Fprintf(&b, " aliases: %s", strings.Join(aliases, ", "))
+		}
+		b.WriteByte('\n')
 	}
-	w, err := s.BuildWorld(rep)
+	return b.String()
+}
+
+// runScenario builds and runs the scenario like Scenario.Run, with
+// engine-level parallelism enabled (a single scenario run has no
+// repetition fan-out to feed, and worker counts never change results)
+// and optional channel statistics and tracing attached through build
+// options.
+func runScenario(s experiment.Scenario, rep int, stats bool, traceN int) (core.Result, *metrics.Collector) {
+	opts := []core.Option{core.WithWorkers(runtime.GOMAXPROCS(0))}
+	var coll *metrics.Collector
+	if stats {
+		coll = metrics.NewCollector()
+		opts = append(opts, core.WithRoundHook(coll.Hook()))
+	}
+	var tl *trace.Logger
+	if traceN > 0 {
+		tl = &trace.Logger{W: os.Stderr, MaxLines: traceN}
+		opts = append(opts, core.WithRoundHook(tl.Hook()))
+	}
+	w, err := s.BuildWorld(rep, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	var coll *metrics.Collector
-	var hooks []func(uint64, []radio.Tx)
-	if stats {
-		coll = metrics.NewCollector()
-		hooks = append(hooks, coll.Hook())
+	if tl != nil {
+		// The cycle is a product of the build; the hook only reads it
+		// once rounds start.
+		tl.Cycle = w.Cycle
 	}
-	if traceN > 0 {
-		l := &trace.Logger{W: os.Stderr, Cycle: w.Cycle, MaxLines: traceN}
-		hooks = append(hooks, l.Hook())
-	}
-	w.Eng.OnRound = metrics.Chain(hooks...)
 	maxRounds := s.MaxRounds
 	if maxRounds == 0 {
-		maxRounds = 5_000_000
+		maxRounds = defaultMaxRounds
 	}
 	return w.Run(maxRounds), coll
 }

@@ -2,6 +2,20 @@ package main
 
 import "testing"
 
+// TestProtocolListGolden pins the exact `rbsim -proto list` output: the
+// sorted driver registry with sorted aliases. A new registration (or a
+// renamed driver) must update this string deliberately.
+func TestProtocolListGolden(t *testing.T) {
+	const want = "Epidemic               aliases: epidemicrb, flood\n" +
+		"GossipRB               aliases: gossip\n" +
+		"MultiPathRB            aliases: mp, multipath\n" +
+		"NeighborWatchRB        aliases: neighborwatch, nw\n" +
+		"NeighborWatchRB-2vote  aliases: 2vote, neighborwatch2, nw2\n"
+	if got := protocolList(); got != want {
+		t.Fatalf("protocol list drifted:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
 func TestParseBits(t *testing.T) {
 	cases := []struct {
 		in   string

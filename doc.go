@@ -14,7 +14,9 @@
 //     policing each other, internal/proto/nwatch);
 //   - MultiPathRB (optimally resilient COMMIT/HEARD voting,
 //     internal/proto/multipath);
-//   - the unauthenticated epidemic baseline (internal/proto/epidemic);
+//   - the unauthenticated epidemic baseline (internal/proto/epidemic)
+//     and a probabilistic-forwarding gossip variant
+//     (internal/proto/gossip);
 //   - a deterministic round-synchronous radio simulator replacing WSNet
 //     (internal/sim, internal/radio), with analytical disk and Friis
 //     free-space channel models;
@@ -23,10 +25,15 @@
 //     (internal/schedule, internal/topo, internal/adversary,
 //     internal/experiment).
 //
+// Protocols plug into internal/core through a driver registry
+// (core.Register / core.Lookup / core.Names); the blank-import glue
+// package internal/protocols wires in the built-in drivers, exactly
+// like database/sql and its drivers.
+//
 // Start with internal/core (the high-level API), cmd/rbsim and
 // cmd/rbexp (executables), and examples/quickstart. DESIGN.md maps
-// paper sections to modules; EXPERIMENTS.md records paper-vs-measured
-// results. The benchmarks in bench_test.go regenerate each experiment
-// at a reduced preset; `go run ./cmd/rbexp -exp all -full` runs the
-// paper-scale parameters.
+// paper sections to modules, documents the registry, and records the
+// experiment index. The benchmarks in bench_test.go regenerate each
+// experiment at a reduced preset; `go run ./cmd/rbexp -exp all -full`
+// runs the paper-scale parameters.
 package authradio

@@ -18,6 +18,9 @@ import (
 	"authradio/internal/core"
 	"authradio/internal/topo"
 	"authradio/internal/xrand"
+
+	// Protocol drivers register themselves; core resolves them by name.
+	_ "authradio/internal/protocols"
 )
 
 func main() {

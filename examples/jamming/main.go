@@ -14,6 +14,9 @@ import (
 	"authradio/internal/core"
 	"authradio/internal/experiment"
 	"authradio/internal/stats"
+
+	// Protocol drivers register themselves; core resolves them by name.
+	_ "authradio/internal/protocols"
 )
 
 func main() {

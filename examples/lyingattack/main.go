@@ -12,6 +12,9 @@ import (
 
 	"authradio/internal/core"
 	"authradio/internal/experiment"
+
+	// Protocol drivers register themselves; core resolves them by name.
+	_ "authradio/internal/protocols"
 )
 
 func main() {

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"sync"
+
+	"authradio/internal/schedule"
+	"authradio/internal/sim"
+	"authradio/internal/topo"
+)
+
+// ProtocolNode is what a driver adds for each participating device: a
+// simulated radio device whose protocol status the world can report.
+type ProtocolNode interface {
+	sim.Device
+	Status
+}
+
+// WorldBuilder is handed to a ProtocolDriver's Build. It exposes the
+// validated configuration's derived state (roles, participation) and
+// collects the driver's devices into the world under construction.
+// Device registration order is significant: the engine assigns compact
+// indices at Add, so a driver must add devices in a deterministic order
+// for runs to be reproducible.
+type WorldBuilder struct {
+	cfg    Config
+	w      *World
+	active []bool
+	// jamVetoOnly is the veto-round targeting for any jammers built
+	// after the driver (true unless the driver's slots have no veto
+	// rounds; see SetJamVetoOnly).
+	jamVetoOnly bool
+}
+
+// Deployment returns the (validated) device deployment.
+func (b *WorldBuilder) Deployment() *topo.Deployment { return b.cfg.Deploy }
+
+// Role returns device i's behaviour for this run.
+func (b *WorldBuilder) Role(i int) Role {
+	if b.cfg.Roles == nil {
+		return Honest
+	}
+	return b.cfg.Roles[i]
+}
+
+// Active returns the participation mask: active[i] is true for devices
+// that take protocol steps (honest and lying devices; crashed devices
+// and jammers do not participate in the protocol).
+func (b *WorldBuilder) Active() []bool { return b.active }
+
+// Param returns the named driver knob from Config.Params, or def when
+// absent. Drivers registered outside this package use Params for their
+// protocol-specific configuration (built-in knobs have dedicated Config
+// fields).
+func (b *WorldBuilder) Param(name string, def float64) float64 {
+	if v, ok := b.cfg.Params[name]; ok {
+		return v
+	}
+	return def
+}
+
+// SetCycle records the schedule cycle in force and the number of slots
+// used. Every driver must call it: jammers, probing and reporting all
+// read the cycle.
+func (b *WorldBuilder) SetCycle(c schedule.Cycle, slotsUsed int) {
+	b.w.Cycle = c
+	b.w.SlotsUsed = slotsUsed
+}
+
+// SetJamVetoOnly selects what jammers attack: true (the default) aims
+// their budget at the 2Bit veto rounds; drivers whose slots carry whole
+// messages with no veto structure (epidemic-style floods) must pass
+// false so jammers target every round instead of never firing.
+func (b *WorldBuilder) SetJamVetoOnly(v bool) { b.jamVetoOnly = v }
+
+// AddDevice registers a raw device with the engine (used for the
+// source, which is not tracked as a protocol node).
+func (b *WorldBuilder) AddDevice(d sim.Device) { b.w.Eng.Add(d, 0) }
+
+// AddNode registers an honest protocol node for device id.
+func (b *WorldBuilder) AddNode(id int, n ProtocolNode) {
+	b.w.Nodes[id] = n
+	b.w.Eng.Add(n, 0)
+}
+
+// AddLiar registers a lying protocol node for device id, accounting its
+// transmissions as Byzantine.
+func (b *WorldBuilder) AddLiar(id int, n ProtocolNode) {
+	b.w.Nodes[id] = n
+	b.w.Eng.Add(n, 0)
+	b.w.byzIDs[id] = true
+}
+
+// Schedules are pure functions of their knobs, and read-only once
+// built, so they are shared across worlds: experiment sweeps run many
+// repetitions against cached deployments, and without this cache every
+// repetition would redo the greedy colouring (the most expensive part
+// of world construction after the deployment itself). nodeSchedCache
+// keys on deployment pointer identity — deployments recalled from the
+// experiment cache share schedules, fresh deployments never falsely
+// match; gridCache needs no deployment at all, since a SquareGrid is a
+// pure function of (range, side, sense range) and carries no per-
+// deployment state. On overflow the whole map is dropped, like the
+// deployment cache (sweeps revisit keys in cell order; partial
+// eviction buys nothing).
+type nodeSchedKey struct {
+	d       *topo.Deployment
+	spacing float64
+	slotLen int
+	reserve bool
+	src     int
+}
+
+type gridKey struct {
+	r, side, sense float64
+}
+
+var (
+	schedMu        sync.Mutex
+	nodeSchedCache = make(map[nodeSchedKey]*schedule.NodeSchedule)
+	gridCache      = make(map[gridKey]*schedule.SquareGrid)
+)
+
+const maxSchedCache = 256
+
+// NodeSchedule returns the greedy per-device schedule for the world's
+// deployment with the given conflict spacing, slot length, and
+// source-slot reservation (the source is the configured one), recalling
+// a cached build when an identical schedule was already constructed.
+// The result is shared and must be treated as immutable.
+func (b *WorldBuilder) NodeSchedule(spacing float64, slotLen int, reserveSourceSlot bool) *schedule.NodeSchedule {
+	key := nodeSchedKey{
+		d: b.cfg.Deploy, spacing: spacing, slotLen: slotLen,
+		reserve: reserveSourceSlot, src: b.cfg.SourceID,
+	}
+	schedMu.Lock()
+	ns, ok := nodeSchedCache[key]
+	schedMu.Unlock()
+	if ok {
+		return ns
+	}
+	ns = schedule.GreedyNodeSchedule(b.cfg.Deploy, spacing, slotLen, reserveSourceSlot, b.cfg.SourceID)
+	schedMu.Lock()
+	if len(nodeSchedCache) >= maxSchedCache {
+		clear(nodeSchedCache)
+	}
+	nodeSchedCache[key] = ns
+	schedMu.Unlock()
+	return ns
+}
+
+// SquareGrid returns the square-partition schedule with the given
+// square side for the deployment's range and the medium's sense range,
+// cached like NodeSchedule. The result is shared and must be treated as
+// immutable.
+func (b *WorldBuilder) SquareGrid(side float64) *schedule.SquareGrid {
+	key := gridKey{r: b.cfg.Deploy.R, side: side, sense: b.cfg.Medium.SenseRange()}
+	schedMu.Lock()
+	g, ok := gridCache[key]
+	schedMu.Unlock()
+	if ok {
+		return g
+	}
+	g = schedule.NewSquareGrid(key.r, key.side, key.sense)
+	schedMu.Lock()
+	if len(gridCache) >= maxSchedCache {
+		clear(gridCache)
+	}
+	gridCache[key] = g
+	schedMu.Unlock()
+	return g
+}

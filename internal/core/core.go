@@ -6,7 +6,14 @@
 // broadcasts needed ..., and the percentage of completed nodes that
 // received the correct message."
 //
-// Typical use:
+// Protocols are pluggable: Build resolves the configured protocol
+// through a driver registry (Register/Lookup/Names) instead of a closed
+// switch, so protocol packages — including third-party ones — wire
+// themselves in. Like database/sql, core does not import any driver;
+// binaries and tests import the glue package internal/protocols (or the
+// individual driver packages) for their side-effect registration:
+//
+//	import _ "authradio/internal/protocols"
 //
 //	d := topo.Uniform(600, 20, 4, xrand.New(seed))
 //	w, err := core.Build(core.Config{
@@ -27,9 +34,6 @@ import (
 	"authradio/internal/adversary"
 	"authradio/internal/bitcodec"
 	"authradio/internal/geom"
-	"authradio/internal/proto/epidemic"
-	"authradio/internal/proto/multipath"
-	"authradio/internal/proto/nwatch"
 	"authradio/internal/radio"
 	"authradio/internal/schedule"
 	"authradio/internal/sim"
@@ -37,7 +41,11 @@ import (
 	"authradio/internal/xrand"
 )
 
-// Protocol selects the broadcast protocol under test.
+// Protocol selects one of the paper's protocols under test. The enum is
+// a thin alias layer over the driver registry: each value resolves to
+// the registered driver of the same canonical name, so the two
+// addressing modes (enum and Config.ProtocolName) build identical
+// worlds.
 type Protocol uint8
 
 // The protocols of the paper's evaluation.
@@ -53,7 +61,8 @@ const (
 	EpidemicRB
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer; the value is the protocol's canonical
+// registry name.
 func (p Protocol) String() string {
 	switch p {
 	case NeighborWatchRB:
@@ -90,8 +99,13 @@ const (
 type Config struct {
 	// Deploy is the device deployment. Required.
 	Deploy *topo.Deployment
-	// Protocol selects the broadcast protocol.
+	// Protocol selects the broadcast protocol by enum.
 	Protocol Protocol
+	// ProtocolName selects the broadcast protocol by registry name or
+	// alias (case-insensitive); when non-empty it takes precedence over
+	// Protocol. This is how protocols registered outside this package
+	// are addressed.
+	ProtocolName string
 	// Msg is the broadcast payload. Required.
 	Msg bitcodec.Message
 	// FakeMsg is what liars propagate; it defaults to the bitwise
@@ -135,6 +149,19 @@ type Config struct {
 	// MPHeardCap overrides MultiPathRB's HEARD relay cap per
 	// (bit, value); 0 keeps the default 3(t+1).
 	MPHeardCap int
+	// Params carries named knobs for protocol drivers registered
+	// outside this package (see WorldBuilder.Param); built-in protocols
+	// use the dedicated fields above. Keys are conventionally
+	// "<protocol>.<knob>", e.g. "gossip.fanout".
+	Params map[string]float64
+}
+
+// driverName returns the registry name the configuration addresses.
+func (cfg Config) driverName() string {
+	if cfg.ProtocolName != "" {
+		return cfg.ProtocolName
+	}
+	return cfg.Protocol.String()
 }
 
 // Status is the uniform read-only view of a protocol node.
@@ -149,10 +176,13 @@ type Status interface {
 
 // World is a built, runnable network.
 type World struct {
-	Cfg     Config
-	Eng     *sim.Engine
-	Nodes   map[int]Status // protocol devices (honest + liars), by id
-	Jammers []*adversary.Jammer
+	Cfg Config
+	// DriverName is the canonical registry name of the protocol driver
+	// that built this world.
+	DriverName string
+	Eng        *sim.Engine
+	Nodes      map[int]Status // protocol devices (honest + liars), by id
+	Jammers    []*adversary.Jammer
 	// Cycle is the schedule cycle in force (for jammers, probing and
 	// reporting).
 	Cycle schedule.Cycle
@@ -162,8 +192,21 @@ type World struct {
 	byzIDs map[int]bool // liars and jammers, for energy accounting
 }
 
-// Build validates cfg and constructs the network.
-func Build(cfg Config) (*World, error) {
+// Build validates cfg, resolves its protocol through the driver
+// registry, and constructs the network. Options cover run-harness
+// concerns (see WithRoundHook, WithMedium, WithWorkers).
+func Build(cfg Config, opts ...Option) (*World, error) {
+	var bo buildOptions
+	for _, o := range opts {
+		o(&bo)
+	}
+	if bo.medium != nil {
+		cfg.Medium = bo.medium
+	}
+	if bo.workersSet {
+		cfg.Workers = bo.workers
+	}
+
 	d := cfg.Deploy
 	if d == nil {
 		return nil, fmt.Errorf("core: nil deployment")
@@ -211,6 +254,11 @@ func Build(cfg Config) (*World, error) {
 		}
 	}
 
+	drv, ok := Lookup(cfg.driverName())
+	if !ok {
+		return nil, fmt.Errorf("core: unknown protocol %s (registered: %v)", cfg.driverName(), Names())
+	}
+
 	role := func(i int) Role {
 		if cfg.Roles == nil {
 			return Honest
@@ -223,94 +271,18 @@ func Build(cfg Config) (*World, error) {
 	}
 
 	w := &World{
-		Cfg:    cfg,
-		Eng:    sim.NewEngine(cfg.Medium),
-		Nodes:  make(map[int]Status),
-		byzIDs: make(map[int]bool),
+		Cfg:        cfg,
+		DriverName: drv.Name(),
+		Eng:        sim.NewEngine(cfg.Medium),
+		Nodes:      make(map[int]Status),
+		byzIDs:     make(map[int]bool),
 	}
 	w.Eng.Workers = cfg.Workers
 	w.Eng.DisableIndex = cfg.LinearChannel
 
-	switch cfg.Protocol {
-	case NeighborWatchRB, NeighborWatch2RB:
-		votes := 1
-		if cfg.Protocol == NeighborWatch2RB {
-			votes = 2
-		}
-		g := schedule.NewSquareGrid(d.R, cfg.SquareSide, cfg.Medium.SenseRange())
-		sh := nwatch.NewShared(d, g, cfg.Msg.Len, cfg.SourceID, votes, active)
-		w.Cycle = g.Cycle
-		w.SlotsUsed = g.NumSlots
-		w.Eng.Add(nwatch.NewSource(sh, cfg.Msg), 0)
-		for i := 0; i < d.N(); i++ {
-			if i == cfg.SourceID {
-				continue
-			}
-			switch role(i) {
-			case Honest:
-				n := nwatch.NewNode(sh, i)
-				w.Nodes[i] = n
-				w.Eng.Add(n, 0)
-			case Liar:
-				n := nwatch.NewLiar(sh, i, cfg.FakeMsg)
-				w.Nodes[i] = n
-				w.Eng.Add(n, 0)
-				w.byzIDs[i] = true
-			}
-		}
-	case MultiPathRB:
-		// Same-slot devices and their responders (within R) must be
-		// mutually undetectable: spacing > 2R + sense range.
-		ns := schedule.GreedyNodeSchedule(d, 2*d.R+cfg.Medium.SenseRange(), schedule.SlotLen, true, cfg.SourceID)
-		sh := multipath.NewShared(d, ns, cfg.Msg.Len, cfg.SourceID, cfg.T, active)
-		if cfg.MPHeardCap > 0 {
-			sh.HeardCap = cfg.MPHeardCap
-		}
-		w.Cycle = ns.Cycle
-		w.SlotsUsed = ns.NumSlots
-		w.Eng.Add(multipath.NewSource(sh, cfg.Msg), 0)
-		for i := 0; i < d.N(); i++ {
-			if i == cfg.SourceID {
-				continue
-			}
-			switch role(i) {
-			case Honest:
-				n := multipath.NewNode(sh, i)
-				w.Nodes[i] = n
-				w.Eng.Add(n, 0)
-			case Liar:
-				n := multipath.NewLiar(sh, i, cfg.FakeMsg)
-				w.Nodes[i] = n
-				w.Eng.Add(n, 0)
-				w.byzIDs[i] = true
-			}
-		}
-	case EpidemicRB:
-		// The baseline shares the bit protocols' 6-round MAC slots: one
-		// slot carries the whole message (the paper's modified WSNet MAC
-		// is likewise common to all protocols), keeping the comparison
-		// like-for-like.
-		ns := schedule.GreedyNodeSchedule(d, 2*d.R+cfg.Medium.SenseRange(), schedule.SlotLen, true, cfg.SourceID)
-		sh := epidemic.NewShared(d, ns, cfg.Msg.Len, cfg.SourceID, cfg.EpidemicRepeats)
-		w.Cycle = ns.Cycle
-		w.SlotsUsed = ns.NumSlots
-		for i := 0; i < d.N(); i++ {
-			switch {
-			case i == cfg.SourceID:
-				w.Eng.Add(epidemic.NewSource(sh, cfg.Msg), 0)
-			case role(i) == Honest:
-				n := epidemic.NewNode(sh, i)
-				w.Nodes[i] = n
-				w.Eng.Add(n, 0)
-			case role(i) == Liar:
-				n := epidemic.NewLiar(sh, i, cfg.FakeMsg)
-				w.Nodes[i] = n
-				w.Eng.Add(n, 0)
-				w.byzIDs[i] = true
-			}
-		}
-	default:
-		return nil, fmt.Errorf("core: unknown protocol %v", cfg.Protocol)
+	b := &WorldBuilder{cfg: cfg, w: w, active: active, jamVetoOnly: true}
+	if err := drv.Build(cfg, b); err != nil {
+		return nil, fmt.Errorf("core: building %s: %w", drv.Name(), err)
 	}
 
 	// Jammers attack whatever slot structure the protocol uses.
@@ -324,13 +296,13 @@ func Build(cfg Config) (*World, error) {
 		}
 		j := adversary.NewJammer(i, d.Pos[i], w.Cycle, budget, cfg.JamProb,
 			xrand.Derive(cfg.Seed, 0x4A41, uint64(i)))
-		if cfg.Protocol == EpidemicRB {
-			j.VetoOnly = false // 1-round slots have no veto rounds
-		}
+		j.VetoOnly = b.jamVetoOnly
 		w.Jammers = append(w.Jammers, j)
 		w.Eng.Add(j, 0)
 		w.byzIDs[i] = true
 	}
+
+	w.Eng.OnRound = chainHooks(bo.hooks)
 	return w, nil
 }
 
@@ -397,7 +369,7 @@ func (w *World) Run(maxRounds uint64) Result {
 // Summarize computes the Result at the given end round.
 func (w *World) Summarize(end uint64) Result {
 	res := Result{EndRound: end}
-	for id, n := range w.Nodes {
+	for _, n := range w.Nodes {
 		if n.IsLiar() {
 			continue
 		}
@@ -412,7 +384,6 @@ func (w *World) Summarize(end uint64) Result {
 		if n.CompletedAt() > res.LastCompletion {
 			res.LastCompletion = n.CompletedAt()
 		}
-		_ = id
 	}
 	res.AllComplete = res.Complete == res.Honest
 	for id := range w.Nodes {

@@ -1,4 +1,9 @@
-package core
+// The bulk of core's tests live in the external test package: they
+// exercise Build through the public API, and registering the built-in
+// protocol drivers from an internal test would be an import cycle
+// (drivers import core). Registry mechanics that need no real driver
+// are tested internally in registry_test.go.
+package core_test
 
 import (
 	"strings"
@@ -8,6 +13,9 @@ import (
 	"authradio/internal/radio"
 	"authradio/internal/topo"
 	"authradio/internal/xrand"
+
+	. "authradio/internal/core"
+	_ "authradio/internal/protocols"
 )
 
 func msg4() bitcodec.Message { return bitcodec.NewMessage(0b1011, 4) }

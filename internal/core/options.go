@@ -1,0 +1,60 @@
+package core
+
+import (
+	"slices"
+
+	"authradio/internal/radio"
+)
+
+// Option adjusts how Build constructs a world, without growing Config:
+// options cover run-harness concerns (tracing hooks, medium overrides,
+// engine parallelism) that callers previously patched onto the built
+// world post hoc.
+type Option func(*buildOptions)
+
+type buildOptions struct {
+	hooks      []func(uint64, []radio.Tx)
+	medium     radio.Medium
+	workers    int
+	workersSet bool
+}
+
+// WithRoundHook registers a per-round observer on the engine (invoked
+// after each simulated round with that round's transmissions, ascending
+// by transmitter id). Multiple hooks chain in registration order.
+func WithRoundHook(h func(r uint64, txs []radio.Tx)) Option {
+	return func(o *buildOptions) { o.hooks = append(o.hooks, h) }
+}
+
+// WithMedium overrides the channel model, taking precedence over
+// Config.Medium. The caveat on Config.Medium about wrapper media and
+// LinearChannel applies here too.
+func WithMedium(m radio.Medium) Option {
+	return func(o *buildOptions) { o.medium = m }
+}
+
+// WithWorkers sets the engine's intra-round parallelism, taking
+// precedence over Config.Workers (<=1 runs sequentially). Results are
+// identical across worker counts; run-level fan-out (experiment
+// repetitions) is usually preferable, so this is for runs where that
+// fan-out is idle.
+func WithWorkers(n int) Option {
+	return func(o *buildOptions) { o.workers, o.workersSet = n, true }
+}
+
+// chainHooks folds the registered round hooks into a single engine
+// callback (nil when none).
+func chainHooks(hs []func(uint64, []radio.Tx)) func(uint64, []radio.Tx) {
+	switch len(hs) {
+	case 0:
+		return nil
+	case 1:
+		return hs[0]
+	}
+	hs = slices.Clone(hs)
+	return func(r uint64, txs []radio.Tx) {
+		for _, h := range hs {
+			h(r, txs)
+		}
+	}
+}

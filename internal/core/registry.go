@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+	"sync"
+)
+
+// ProtocolDriver wires one broadcast protocol into a world under
+// construction. Drivers live with their protocol packages (or entirely
+// outside this repository) and make themselves known through Register;
+// Build resolves the configured protocol through the registry, so new
+// protocols plug in without touching this package — see
+// internal/protocols for the glue that pulls in the built-in drivers.
+type ProtocolDriver interface {
+	// Name is the driver's canonical registry name (e.g.
+	// "NeighborWatchRB"). Lookup is case-insensitive.
+	Name() string
+	// Aliases are additional lookup names (short forms like "nw").
+	Aliases() []string
+	// Build constructs the protocol's devices into the world: it must
+	// set the schedule cycle (WorldBuilder.SetCycle) and add the source
+	// and one node per participating device. cfg has been validated and
+	// defaulted; roles, participation and schedule construction are
+	// available on the builder.
+	Build(cfg Config, b *WorldBuilder) error
+}
+
+var (
+	regMu sync.RWMutex
+	// drivers maps lower-cased names and aliases to their driver.
+	drivers = make(map[string]ProtocolDriver)
+	// canonical holds the sorted canonical names.
+	canonical []string
+)
+
+// Register adds a protocol driver to the registry. It panics if the
+// driver's name or any alias (case-insensitively) is already taken —
+// registration happens in package init functions, where a collision is
+// a programming error.
+func Register(d ProtocolDriver) {
+	name := d.Name()
+	if name == "" {
+		panic("core: Register with empty driver name")
+	}
+	keys := append([]string{name}, d.Aliases()...)
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, k := range keys {
+		if _, dup := drivers[strings.ToLower(k)]; dup {
+			panic(fmt.Sprintf("core: duplicate protocol registration %q", k))
+		}
+	}
+	for _, k := range keys {
+		drivers[strings.ToLower(k)] = d
+	}
+	canonical = append(canonical, name)
+	slices.Sort(canonical)
+}
+
+// Lookup resolves a protocol name or alias, case-insensitively.
+func Lookup(name string) (ProtocolDriver, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	d, ok := drivers[strings.ToLower(name)]
+	return d, ok
+}
+
+// Names returns the canonical names of all registered drivers, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return slices.Clone(canonical)
+}

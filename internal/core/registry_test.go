@@ -1,0 +1,217 @@
+// Internal tests for the registry and builder mechanics, using fake
+// drivers: real-driver round-trips live in internal/protocols (core
+// cannot import its own drivers) and in the external core_test package.
+package core
+
+import (
+	"errors"
+	"slices"
+	"strings"
+	"testing"
+
+	"authradio/internal/bitcodec"
+	"authradio/internal/geom"
+	"authradio/internal/radio"
+	"authradio/internal/schedule"
+	"authradio/internal/sim"
+	"authradio/internal/topo"
+)
+
+// fakeNode is a minimal ProtocolNode that completes immediately.
+type fakeNode struct {
+	id  int
+	pos geom.Point
+	msg bitcodec.Message
+}
+
+func (n *fakeNode) ID() int                           { return n.id }
+func (n *fakeNode) Pos() geom.Point                   { return n.pos }
+func (n *fakeNode) Wake(r uint64) sim.Step            { return sim.Step{Action: sim.Sleep, NextWake: sim.NoWake} }
+func (n *fakeNode) Deliver(uint64, radio.Obs)         {}
+func (n *fakeNode) IsLiar() bool                      { return false }
+func (n *fakeNode) Complete() bool                    { return true }
+func (n *fakeNode) CompletedAt() uint64               { return 1 }
+func (n *fakeNode) CommittedBits() int                { return n.msg.Len }
+func (n *fakeNode) Message() (bitcodec.Message, bool) { return n.msg, true }
+
+// fakeDriver populates one node per non-source device.
+type fakeDriver struct {
+	name    string
+	aliases []string
+	err     error
+}
+
+func (d fakeDriver) Name() string      { return d.name }
+func (d fakeDriver) Aliases() []string { return d.aliases }
+
+func (d fakeDriver) Build(cfg Config, b *WorldBuilder) error {
+	if d.err != nil {
+		return d.err
+	}
+	dep := b.Deployment()
+	b.SetCycle(schedule.Cycle{NumSlots: 1, SlotLen: 1}, 1)
+	for i := 0; i < dep.N(); i++ {
+		if i == cfg.SourceID || b.Role(i) != Honest {
+			continue
+		}
+		b.AddNode(i, &fakeNode{id: i, pos: dep.Pos[i], msg: cfg.Msg})
+	}
+	return nil
+}
+
+func TestRegistryLookup(t *testing.T) {
+	Register(fakeDriver{name: "Fake-A", aliases: []string{"fka"}})
+	for _, name := range []string{"Fake-A", "fake-a", "FAKE-A", "fka", "FkA"} {
+		d, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) missed", name)
+		}
+		if d.Name() != "Fake-A" {
+			t.Fatalf("Lookup(%q) resolved %q", name, d.Name())
+		}
+	}
+	if _, ok := Lookup("no-such-protocol"); ok {
+		t.Fatal("Lookup invented a driver")
+	}
+	names := Names()
+	if !slices.Contains(names, "Fake-A") {
+		t.Fatalf("Names() = %v missing Fake-A", names)
+	}
+	if slices.Contains(names, "fka") {
+		t.Fatal("Names() leaked an alias")
+	}
+	if !slices.IsSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register(fakeDriver{name: "Fake-Dup"})
+	for _, dup := range []fakeDriver{
+		{name: "fake-dup"}, // canonical name, other case
+		{name: "Fake-Dup2", aliases: []string{"FAKE-DUP"}}, // alias colliding with a name
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%q/%v) did not panic", dup.name, dup.aliases)
+				}
+			}()
+			Register(dup)
+		}()
+	}
+}
+
+func TestBuildThroughFakeDriver(t *testing.T) {
+	Register(fakeDriver{name: "Fake-Build", aliases: []string{"fkb"}})
+	d := topo.Grid(4, 4, 2)
+	w, err := Build(Config{Deploy: d, ProtocolName: "fkb", Msg: bitcodec.NewMessage(1, 1), SourceID: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.DriverName != "Fake-Build" {
+		t.Fatalf("DriverName = %q", w.DriverName)
+	}
+	if len(w.Nodes) != d.N()-1 {
+		t.Fatalf("%d nodes built", len(w.Nodes))
+	}
+	if !w.HonestDone() {
+		t.Fatal("fake nodes complete immediately")
+	}
+}
+
+func TestBuildWrapsDriverError(t *testing.T) {
+	boom := errors.New("boom")
+	Register(fakeDriver{name: "Fake-Err", err: boom})
+	d := topo.Grid(3, 3, 2)
+	_, err := Build(Config{Deploy: d, ProtocolName: "Fake-Err", Msg: bitcodec.NewMessage(1, 1), SourceID: -1})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "Fake-Err") {
+		t.Fatalf("err %q does not name the driver", err)
+	}
+}
+
+// testBuilder returns a WorldBuilder over the deployment with the
+// defaults Build would apply, for exercising the schedule caches.
+func testBuilder(d *topo.Deployment) *WorldBuilder {
+	return &WorldBuilder{cfg: Config{
+		Deploy:   d,
+		SourceID: d.CenterNode(),
+		Medium:   &radio.DiskMedium{R: d.R, Metric: d.Metric},
+	}}
+}
+
+func TestNodeScheduleCache(t *testing.T) {
+	d := topo.Grid(6, 6, 2)
+	b := testBuilder(d)
+	spacing := 2*d.R + b.cfg.Medium.SenseRange()
+
+	ns1 := b.NodeSchedule(spacing, schedule.SlotLen, true)
+	ns2 := b.NodeSchedule(spacing, schedule.SlotLen, true)
+	if ns1 != ns2 {
+		t.Fatal("identical schedule knobs rebuilt the node schedule")
+	}
+	// A second world over the same (shared) deployment hits the cache
+	// too — this is the per-repetition rebuild the cache eliminates.
+	if b2 := testBuilder(d); b2.NodeSchedule(spacing, schedule.SlotLen, true) != ns1 {
+		t.Fatal("second builder over the same deployment missed the cache")
+	}
+	if b.NodeSchedule(spacing+1, schedule.SlotLen, true) == ns1 {
+		t.Fatal("different spacing shared a schedule")
+	}
+	if b.NodeSchedule(spacing, 1, true) == ns1 {
+		t.Fatal("different slot length shared a schedule")
+	}
+	if b.NodeSchedule(spacing, schedule.SlotLen, false) == ns1 {
+		t.Fatal("different reservation shared a schedule")
+	}
+	if bOther := testBuilder(topo.Grid(6, 6, 2)); bOther.NodeSchedule(spacing, schedule.SlotLen, true) == ns1 {
+		t.Fatal("distinct deployment object shared a schedule")
+	}
+
+	// The cached schedule is exactly the direct build.
+	direct := schedule.GreedyNodeSchedule(d, spacing, schedule.SlotLen, true, d.CenterNode())
+	if ns1.NumSlots != direct.NumSlots || !slices.Equal(ns1.Slot, direct.Slot) {
+		t.Fatal("cached schedule differs from a direct build")
+	}
+}
+
+func TestSquareGridCache(t *testing.T) {
+	d := topo.Grid(6, 6, 2)
+	b := testBuilder(d)
+	g1 := b.SquareGrid(1)
+	if b.SquareGrid(1) != g1 {
+		t.Fatal("identical grid knobs rebuilt the square grid")
+	}
+	if b.SquareGrid(0.5) == g1 {
+		t.Fatal("different side shared a grid")
+	}
+	// The grid depends only on (R, side, sense): another deployment
+	// with the same parameters shares it.
+	if b2 := testBuilder(topo.Grid(8, 8, 2)); b2.SquareGrid(1) != g1 {
+		t.Fatal("same (R, side, sense) on another deployment missed the cache")
+	}
+	direct := schedule.NewSquareGrid(d.R, 1, b.cfg.Medium.SenseRange())
+	if g1.Q != direct.Q || g1.NumSlots != direct.NumSlots || g1.Side != direct.Side {
+		t.Fatal("cached grid differs from a direct build")
+	}
+}
+
+func TestChainHooks(t *testing.T) {
+	if chainHooks(nil) != nil {
+		t.Fatal("no hooks should chain to nil")
+	}
+	var got []int
+	h := func(tag int) func(uint64, []radio.Tx) {
+		return func(uint64, []radio.Tx) { got = append(got, tag) }
+	}
+	one := chainHooks([]func(uint64, []radio.Tx){h(1)})
+	one(0, nil)
+	two := chainHooks([]func(uint64, []radio.Tx){h(2), h(3)})
+	two(0, nil)
+	if !slices.Equal(got, []int{1, 2, 3}) {
+		t.Fatalf("hook order %v", got)
+	}
+}

@@ -2,8 +2,6 @@ package experiment
 
 import (
 	"fmt"
-
-	"authradio/internal/core"
 )
 
 // Ablation exercises the design choices DESIGN.md calls out:
@@ -47,18 +45,18 @@ func Ablation(o Options) []Table {
 	}
 	for _, p := range probs {
 		s := Scenario{
-			Name:      fmt.Sprintf("ablate/jamprob=%.2f", p),
-			Protocol:  core.NeighborWatchRB,
-			Deploy:    Uniform,
-			Nodes:     nodes,
-			MapSide:   mapSide,
-			Range:     r,
-			MsgLen:    4,
-			JamFrac:   0.10,
-			JamBudget: 16,
-			JamProb:   p,
-			Seed:      seed,
-			MaxRounds: 10_000_000,
+			Name:         fmt.Sprintf("ablate/jamprob=%.2f", p),
+			ProtocolName: "NeighborWatchRB",
+			Deploy:       Uniform,
+			Nodes:        nodes,
+			MapSide:      mapSide,
+			Range:        r,
+			MsgLen:       4,
+			JamFrac:      0.10,
+			JamBudget:    16,
+			JamProb:      p,
+			Seed:         seed,
+			MaxRounds:    10_000_000,
 		}
 		_, agg := cell(s, o, reps)
 		jam.Add(fmt.Sprintf("%.2f", p),
@@ -75,16 +73,16 @@ func Ablation(o Options) []Table {
 	}
 	for _, div := range []float64{2, 3, 4} {
 		s := Scenario{
-			Name:       fmt.Sprintf("ablate/side=R/%.0f", div),
-			Protocol:   core.NeighborWatchRB,
-			Deploy:     Uniform,
-			Nodes:      nodes,
-			MapSide:    mapSide,
-			Range:      r,
-			MsgLen:     4,
-			SquareSide: r / div,
-			Seed:       seed,
-			MaxRounds:  600_000,
+			Name:         fmt.Sprintf("ablate/side=R/%.0f", div),
+			ProtocolName: "NeighborWatchRB",
+			Deploy:       Uniform,
+			Nodes:        nodes,
+			MapSide:      mapSide,
+			Range:        r,
+			MsgLen:       4,
+			SquareSide:   r / div,
+			Seed:         seed,
+			MaxRounds:    600_000,
 		}
 		_, agg := cell(s, o, reps)
 		sq.Add(fmt.Sprintf("R/%.0f", div), agg.CompletionPct.Mean, agg.CorrectPct.Mean,
@@ -103,17 +101,17 @@ func Ablation(o Options) []Table {
 	}
 	for _, cap := range []int{1, 3, 9, 18} {
 		s := Scenario{
-			Name:       fmt.Sprintf("ablate/heardcap=%d", cap),
-			Protocol:   core.MultiPathRB,
-			Deploy:     Uniform,
-			Nodes:      mpNodes,
-			MapSide:    mpSide,
-			Range:      3,
-			MsgLen:     3,
-			T:          2,
-			MPHeardCap: cap,
-			Seed:       seed,
-			MaxRounds:  4_000_000,
+			Name:         fmt.Sprintf("ablate/heardcap=%d", cap),
+			ProtocolName: "MultiPathRB",
+			Deploy:       Uniform,
+			Nodes:        mpNodes,
+			MapSide:      mpSide,
+			Range:        3,
+			MsgLen:       3,
+			T:            2,
+			MPHeardCap:   cap,
+			Seed:         seed,
+			MaxRounds:    4_000_000,
 		}
 		_, agg := cell(s, o, reps)
 		hc.Add(cap, agg.CompletionPct.Mean,

@@ -14,6 +14,10 @@ import (
 	"authradio/internal/stats"
 	"authradio/internal/topo"
 	"authradio/internal/xrand"
+
+	// Register the built-in protocol drivers: scenarios address
+	// protocols through core's registry.
+	_ "authradio/internal/protocols"
 )
 
 // DeployKind selects how devices are placed.
@@ -32,8 +36,13 @@ const (
 // Scenario declares one experiment cell: a deployment, a protocol, an
 // adversary mix, and a message.
 type Scenario struct {
-	Name     string
-	Protocol core.Protocol
+	Name string
+	// Protocol selects the broadcast protocol by enum; ProtocolName,
+	// when non-empty, selects it by registry name or alias instead and
+	// takes precedence — sweeps can enumerate core.Names() and address
+	// protocols registered outside core.
+	Protocol     core.Protocol
+	ProtocolName string
 
 	Deploy   DeployKind
 	Nodes    int     // device count (Uniform/Clustered)
@@ -57,6 +66,10 @@ type Scenario struct {
 	JamProb   float64
 
 	EpidemicRepeats int
+
+	// Params carries named knobs for drivers registered outside core
+	// (see core.Config.Params).
+	Params map[string]float64
 
 	MaxRounds uint64
 	Seed      uint64
@@ -171,7 +184,13 @@ func countNonHonest(roles []core.Role) int {
 // Run executes repetition rep of the scenario. Results are a pure
 // function of (Scenario, rep).
 func (s Scenario) Run(rep int) core.Result {
-	w, err := s.BuildWorld(rep)
+	return s.run(rep)
+}
+
+// run is Run with build options (engine workers, hooks) attached; the
+// options never change results, only how they are computed.
+func (s Scenario) run(rep int, opts ...core.Option) core.Result {
+	w, err := s.BuildWorld(rep, opts...)
 	if err != nil {
 		panic("experiment: bad scenario " + s.Name + ": " + err.Error())
 	}
@@ -183,13 +202,15 @@ func (s Scenario) Run(rep int) core.Result {
 }
 
 // BuildWorld constructs (without running) the world for repetition rep,
-// for callers that want to attach hooks or inspect devices.
-func (s Scenario) BuildWorld(rep int) (*core.World, error) {
+// for callers that want to attach hooks (core.WithRoundHook and
+// friends) or inspect devices.
+func (s Scenario) BuildWorld(rep int, opts ...core.Option) (*core.World, error) {
 	d := s.deployment(rep)
 	src := d.CenterNode()
 	return core.Build(core.Config{
 		Deploy:          d,
 		Protocol:        s.Protocol,
+		ProtocolName:    s.ProtocolName,
 		Msg:             s.message(),
 		SourceID:        src,
 		Roles:           s.roles(d, src, rep),
@@ -199,8 +220,9 @@ func (s Scenario) BuildWorld(rep int) (*core.World, error) {
 		JamBudget:       s.JamBudget,
 		JamProb:         s.JamProb,
 		EpidemicRepeats: s.EpidemicRepeats,
+		Params:          s.Params,
 		Seed:            xrand.Hash64(s.Seed, uint64(rep)),
-	})
+	}, opts...)
 }
 
 // message returns the scenario's broadcast payload, defaulting to the
@@ -223,6 +245,14 @@ func (s Scenario) message() bitcodec.Message {
 func Repeat(s Scenario, reps, workers int) []core.Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if reps == 1 && workers > 1 {
+		// The repetition fan-out is idle: spend the worker budget inside
+		// the engine instead. Intra-round parallelism never changes
+		// results (pinned by core's worker-equivalence tests). An
+		// explicit workers=1 bound is respected by falling through to
+		// the sequential path.
+		return []core.Result{s.run(0, core.WithWorkers(workers))}
 	}
 	if workers > reps {
 		workers = reps

@@ -250,6 +250,53 @@ func TestDualModeSmoke(t *testing.T) {
 	}
 }
 
+// TestProtocolNameAddressing verifies the two protocol addressing
+// modes agree: a scenario naming its protocol through the registry
+// (canonical name or alias, any case) produces exactly the enum
+// scenario's results.
+func TestProtocolNameAddressing(t *testing.T) {
+	byEnum := tiny().Run(0)
+	for _, name := range []string{"NeighborWatchRB", "nw", "NEIGHBORWATCH"} {
+		s := tiny()
+		s.Protocol = 0
+		s.ProtocolName = name
+		if got := s.Run(0); got != byEnum {
+			t.Fatalf("ProtocolName %q diverged from enum:\n%+v\n%+v", name, got, byEnum)
+		}
+	}
+	// Registry enumeration: every registered protocol is a buildable
+	// scenario (this is what sweeps over core.Names() rely on).
+	for _, name := range core.Names() {
+		s := tiny()
+		s.Name = "tiny/" + name
+		s.Protocol = 0
+		s.ProtocolName = name
+		s.T = 1
+		if r := s.Run(0); !r.AllComplete {
+			t.Errorf("scenario over registry name %q incomplete: %+v", name, r)
+		}
+	}
+}
+
+// TestRepeatSingleRepAutoWorkers verifies the reps==1 fast path (which
+// spends the worker budget inside the engine) returns exactly the
+// sequential result, for the default budget, an explicit multi-worker
+// budget, and the explicit workers=1 bound (which must stay
+// sequential).
+func TestRepeatSingleRepAutoWorkers(t *testing.T) {
+	s := tiny()
+	want := s.Run(0)
+	for _, workers := range []int{0, 4, 1} {
+		got := Repeat(s, 1, workers)
+		if len(got) != 1 {
+			t.Fatalf("Repeat(workers=%d) returned %d results", workers, len(got))
+		}
+		if got[0] != want {
+			t.Fatalf("Repeat(workers=%d) changed the outcome:\n%+v\n%+v", workers, got[0], want)
+		}
+	}
+}
+
 // TestDeploymentCacheSharesAcrossCells verifies that cells differing
 // only in protocol/adversary parameters recall the same deployment
 // object, while any geometry-determining parameter (or the repetition)

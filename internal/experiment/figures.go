@@ -29,21 +29,22 @@ func correctOfHonest(rs []core.Result) float64 {
 	return s / float64(len(rs))
 }
 
-// fig5Protocols are the four curves of Figure 5 and 6.
+// fig5Protocols are the four curves of Figure 5 and 6. Protocols are
+// addressed by driver registry name (core.Names / core.Lookup).
 type protoVariant struct {
 	label string
-	p     core.Protocol
+	proto string
 	t     int
 }
 
 func variants(full bool) []protoVariant {
 	vs := []protoVariant{
-		{"NeighborWatchRB", core.NeighborWatchRB, 0},
-		{"NW-2vote", core.NeighborWatch2RB, 0},
-		{"MultiPathRB t=3", core.MultiPathRB, 3},
+		{"NeighborWatchRB", "NeighborWatchRB", 0},
+		{"NW-2vote", "NeighborWatchRB-2vote", 0},
+		{"MultiPathRB t=3", "MultiPathRB", 3},
 	}
 	if full {
-		vs = append(vs, protoVariant{"MultiPathRB t=5", core.MultiPathRB, 5})
+		vs = append(vs, protoVariant{"MultiPathRB t=5", "MultiPathRB", 5})
 	}
 	return vs
 }
@@ -82,20 +83,20 @@ func Fig5Crash(o Options) []Table {
 		nodes := int(dens * p.mapSide * p.mapSide)
 		for _, v := range vs {
 			maxR := p.maxNW
-			if v.p == core.MultiPathRB {
+			if v.proto == "MultiPathRB" {
 				maxR = p.maxMP
 			}
 			s := Scenario{
-				Name:      fmt.Sprintf("fig5/%s/d=%.2f", v.label, dens),
-				Protocol:  v.p,
-				Deploy:    Uniform,
-				Nodes:     nodes,
-				MapSide:   p.mapSide,
-				Range:     p.r,
-				MsgLen:    p.msgLen,
-				T:         v.t,
-				Seed:      o.seed(),
-				MaxRounds: maxR,
+				Name:         fmt.Sprintf("fig5/%s/d=%.2f", v.label, dens),
+				ProtocolName: v.proto,
+				Deploy:       Uniform,
+				Nodes:        nodes,
+				MapSide:      p.mapSide,
+				Range:        p.r,
+				MsgLen:       p.msgLen,
+				T:            v.t,
+				Seed:         o.seed(),
+				MaxRounds:    maxR,
 			}
 			_, agg := cell(s, o, reps)
 			row = append(row, fmt.Sprintf("%.1f", agg.CompletionPct.Mean))
@@ -131,17 +132,17 @@ func Jamming(o Options) []Table {
 	var xs, ys []float64
 	for _, b := range p.budgets {
 		s := Scenario{
-			Name:      fmt.Sprintf("jam/b=%d", b),
-			Protocol:  core.NeighborWatchRB,
-			Deploy:    Uniform,
-			Nodes:     p.nodes,
-			MapSide:   p.mapSide,
-			Range:     p.r,
-			MsgLen:    4,
-			JamFrac:   0.10,
-			JamBudget: b,
-			Seed:      o.seed(),
-			MaxRounds: 10_000_000,
+			Name:         fmt.Sprintf("jam/b=%d", b),
+			ProtocolName: "NeighborWatchRB",
+			Deploy:       Uniform,
+			Nodes:        p.nodes,
+			MapSide:      p.mapSide,
+			Range:        p.r,
+			MsgLen:       4,
+			JamFrac:      0.10,
+			JamBudget:    b,
+			Seed:         o.seed(),
+			MaxRounds:    10_000_000,
 		}
 		if b == 0 {
 			// Baseline: the same 10% of devices are lost as relays but
@@ -196,21 +197,21 @@ func Fig6Lying(o Options) []Table {
 		row := []interface{}{fmt.Sprintf("%.1f", 100*frac)}
 		for _, v := range vs {
 			maxR := p.maxNW
-			if v.p == core.MultiPathRB {
+			if v.proto == "MultiPathRB" {
 				maxR = p.maxMP
 			}
 			s := Scenario{
-				Name:      fmt.Sprintf("fig6/%s/l=%.1f%%", v.label, 100*frac),
-				Protocol:  v.p,
-				Deploy:    Uniform,
-				Nodes:     p.nodes,
-				MapSide:   p.mapSide,
-				Range:     p.r,
-				MsgLen:    4,
-				T:         v.t,
-				LiarFrac:  frac,
-				Seed:      o.seed(),
-				MaxRounds: maxR,
+				Name:         fmt.Sprintf("fig6/%s/l=%.1f%%", v.label, 100*frac),
+				ProtocolName: v.proto,
+				Deploy:       Uniform,
+				Nodes:        p.nodes,
+				MapSide:      p.mapSide,
+				Range:        p.r,
+				MsgLen:       4,
+				T:            v.t,
+				LiarFrac:     frac,
+				Seed:         o.seed(),
+				MaxRounds:    maxR,
 			}
 			_, agg := cell(s, o, reps)
 			row = append(row, fmt.Sprintf("%.1f", agg.CorrectPct.Mean))
@@ -244,9 +245,9 @@ func Fig7Density(o Options) []Table {
 	reps := o.reps(2, 4)
 
 	vs := []protoVariant{
-		{"NeighborWatchRB", core.NeighborWatchRB, 0},
-		{"NW-2vote", core.NeighborWatch2RB, 0},
-		{"MultiPathRB t=3", core.MultiPathRB, 3},
+		{"NeighborWatchRB", "NeighborWatchRB", 0},
+		{"NW-2vote", "NeighborWatchRB-2vote", 0},
+		{"MultiPathRB t=3", "MultiPathRB", 3},
 	}
 	tbl := Table{
 		Title:  "Figure 7 — max % Byzantine tolerated for >=90% of honest nodes correct, vs density",
@@ -260,24 +261,24 @@ func Fig7Density(o Options) []Table {
 		nodes := int(dens * p.mapSide * p.mapSide)
 		row := []interface{}{fmt.Sprintf("%.2f", dens), nodes}
 		for _, v := range vs {
-			if v.p == core.MultiPathRB && dens > p.mpMaxDens {
+			if v.proto == "MultiPathRB" && dens > p.mpMaxDens {
 				row = append(row, "n/a")
 				continue
 			}
 			maxTol := 0.0
 			for _, frac := range p.ladder {
 				s := Scenario{
-					Name:      fmt.Sprintf("fig7/%s/d=%.2f/l=%.1f%%", v.label, dens, 100*frac),
-					Protocol:  v.p,
-					Deploy:    Uniform,
-					Nodes:     nodes,
-					MapSide:   p.mapSide,
-					Range:     p.r,
-					MsgLen:    4,
-					T:         v.t,
-					LiarFrac:  frac,
-					Seed:      o.seed(),
-					MaxRounds: maxRoundsFor(v.p, o.Full),
+					Name:         fmt.Sprintf("fig7/%s/d=%.2f/l=%.1f%%", v.label, dens, 100*frac),
+					ProtocolName: v.proto,
+					Deploy:       Uniform,
+					Nodes:        nodes,
+					MapSide:      p.mapSide,
+					Range:        p.r,
+					MsgLen:       4,
+					T:            v.t,
+					LiarFrac:     frac,
+					Seed:         o.seed(),
+					MaxRounds:    maxRoundsFor(v.proto, o.Full),
 				}
 				rs, _ := cell(s, o, reps)
 				if correctOfHonest(rs) >= 90 {
@@ -293,8 +294,8 @@ func Fig7Density(o Options) []Table {
 	return []Table{tbl}
 }
 
-func maxRoundsFor(p core.Protocol, full bool) uint64 {
-	if p == core.MultiPathRB {
+func maxRoundsFor(proto string, full bool) uint64 {
+	if proto == "MultiPathRB" {
 		if full {
 			return 3_000_000
 		}

@@ -3,7 +3,6 @@ package experiment
 import (
 	"fmt"
 
-	"authradio/internal/core"
 	"authradio/internal/stats"
 )
 
@@ -37,18 +36,18 @@ func ClusteredDeployment(o Options) []Table {
 	}{{"uniform", Uniform}, {"clustered", Clustered}} {
 		for _, frac := range []float64{0, 0.10} {
 			s := Scenario{
-				Name:      fmt.Sprintf("clustered/%s/l=%.0f%%", dk.name, 100*frac),
-				Protocol:  core.NeighborWatchRB,
-				Deploy:    dk.kind,
-				Nodes:     p.nodes,
-				MapSide:   p.mapSide,
-				Range:     p.r,
-				Clusters:  p.clusters,
-				Sigma:     p.sigma,
-				MsgLen:    4,
-				LiarFrac:  frac,
-				Seed:      o.seed(),
-				MaxRounds: 600_000,
+				Name:         fmt.Sprintf("clustered/%s/l=%.0f%%", dk.name, 100*frac),
+				ProtocolName: "NeighborWatchRB",
+				Deploy:       dk.kind,
+				Nodes:        p.nodes,
+				MapSide:      p.mapSide,
+				Range:        p.r,
+				Clusters:     p.clusters,
+				Sigma:        p.sigma,
+				MsgLen:       4,
+				LiarFrac:     frac,
+				Seed:         o.seed(),
+				MaxRounds:    600_000,
 			}
 			_, agg := cell(s, o, reps)
 			tbl.Add(dk.name, fmt.Sprintf("%.0f", 100*frac),
@@ -79,16 +78,16 @@ func MapSize(o Options) []Table {
 	for _, side := range sides {
 		nodes := int(density * side * side)
 		s := Scenario{
-			Name:      fmt.Sprintf("mapsize/%.0f", side),
-			Protocol:  core.NeighborWatchRB,
-			Deploy:    Uniform,
-			Nodes:     nodes,
-			MapSide:   side,
-			Range:     r,
-			MsgLen:    5,
-			MsgBits:   0b10110,
-			Seed:      o.seed(),
-			MaxRounds: 2_000_000,
+			Name:         fmt.Sprintf("mapsize/%.0f", side),
+			ProtocolName: "NeighborWatchRB",
+			Deploy:       Uniform,
+			Nodes:        nodes,
+			MapSide:      side,
+			Range:        r,
+			MsgLen:       5,
+			MsgBits:      0b10110,
+			Seed:         o.seed(),
+			MaxRounds:    2_000_000,
 		}
 		_, agg := cell(s, o, reps)
 		tbl.Add(fmt.Sprintf("%.0fx%.0f", side, side), nodes,
@@ -112,7 +111,10 @@ func MapSize(o Options) []Table {
 // EpidemicComparison regenerates Section 6.2 "Comparison with simple
 // Epidemic algorithm": the epidemic baseline vs NeighborWatchRB (paper:
 // NW is about 7.7x slower) and vs MultiPathRB (paper: "orders of
-// magnitude" slower).
+// magnitude" slower). A GossipRB column (probabilistic forwarding,
+// registered outside core — see internal/proto/gossip) sits beside the
+// deterministic baseline: same slot structure, so the delta isolates
+// the forwarding policy.
 func EpidemicComparison(o Options) []Table {
 	sides := []float64{12, 16}
 	mpSide := 12.0
@@ -126,22 +128,27 @@ func EpidemicComparison(o Options) []Table {
 
 	tbl := Table{
 		Title:  "Epidemic comparison — completion rounds (density 1.25, R=3, 5-bit message)",
-		Note:   fmt.Sprintf("%d reps; paper: NeighborWatchRB takes ~7.7x the epidemic protocol, MultiPathRB orders of magnitude more", reps),
-		Header: []string{"map", "epidemic", "NeighborWatchRB", "NW/epidemic", "MultiPathRB t=3", "MP/epidemic"},
+		Note:   fmt.Sprintf("%d reps; paper: NeighborWatchRB takes ~7.7x the epidemic protocol, MultiPathRB orders of magnitude more; GossipRB is this repo's probabilistic flood", reps),
+		Header: []string{"map", "epidemic", "GossipRB", "gossip/epidemic", "NeighborWatchRB", "NW/epidemic", "MultiPathRB t=3", "MP/epidemic"},
 	}
 	var ratios []float64
 	for _, side := range sides {
 		nodes := int(density * side * side)
 		base := Scenario{
-			Protocol: core.EpidemicRB, Deploy: Uniform, Nodes: nodes, MapSide: side,
+			ProtocolName: "Epidemic", Deploy: Uniform, Nodes: nodes, MapSide: side,
 			Range: r, MsgLen: 5, MsgBits: 0b10110, Seed: o.seed(), MaxRounds: 2_000_000,
 		}
 		base.Name = fmt.Sprintf("epidemic/%.0f/flood", side)
 		_, eAgg := cell(base, o, reps)
 
+		gos := base
+		gos.Name = fmt.Sprintf("epidemic/%.0f/gossip", side)
+		gos.ProtocolName = "GossipRB"
+		_, gAgg := cell(gos, o, reps)
+
 		nw := base
 		nw.Name = fmt.Sprintf("epidemic/%.0f/nw", side)
-		nw.Protocol = core.NeighborWatchRB
+		nw.ProtocolName = "NeighborWatchRB"
 		_, nAgg := cell(nw, o, reps)
 
 		ratio := nAgg.LastCompletion.Mean / eAgg.LastCompletion.Mean
@@ -151,7 +158,7 @@ func EpidemicComparison(o Options) []Table {
 		if side == mpSide {
 			mp := base
 			mp.Name = fmt.Sprintf("epidemic/%.0f/mp", side)
-			mp.Protocol = core.MultiPathRB
+			mp.ProtocolName = "MultiPathRB"
 			mp.T = 3
 			mp.MaxRounds = 20_000_000
 			mpReps := reps
@@ -164,6 +171,8 @@ func EpidemicComparison(o Options) []Table {
 		}
 		tbl.Add(fmt.Sprintf("%.0fx%.0f", side, side),
 			fmt.Sprintf("%.0f", eAgg.LastCompletion.Mean),
+			fmt.Sprintf("%.0f", gAgg.LastCompletion.Mean),
+			fmt.Sprintf("%.1fx", gAgg.LastCompletion.Mean/eAgg.LastCompletion.Mean),
 			fmt.Sprintf("%.0f", nAgg.LastCompletion.Mean),
 			fmt.Sprintf("%.1fx", ratio),
 			mpRounds, mpRatio)
@@ -200,16 +209,16 @@ func TheoryScaling(o Options) []Table {
 	var bx, by []float64
 	for _, b := range budgets {
 		s := Scenario{
-			Name:      fmt.Sprintf("theory/beta=%d", b),
-			Protocol:  core.NeighborWatchRB,
-			Deploy:    GridDeploy,
-			GridW:     gridW,
-			Range:     2,
-			MsgLen:    4,
-			JamFrac:   0.05,
-			JamBudget: b,
-			Seed:      o.seed(),
-			MaxRounds: 10_000_000,
+			Name:         fmt.Sprintf("theory/beta=%d", b),
+			ProtocolName: "NeighborWatchRB",
+			Deploy:       GridDeploy,
+			GridW:        gridW,
+			Range:        2,
+			MsgLen:       4,
+			JamFrac:      0.05,
+			JamBudget:    b,
+			Seed:         o.seed(),
+			MaxRounds:    10_000_000,
 		}
 		if b == 0 {
 			s.JamFrac = 0
@@ -229,15 +238,15 @@ func TheoryScaling(o Options) []Table {
 	var kx, ky []float64
 	for _, k := range lengths {
 		s := Scenario{
-			Name:      fmt.Sprintf("theory/k=%d", k),
-			Protocol:  core.NeighborWatchRB,
-			Deploy:    GridDeploy,
-			GridW:     gridW,
-			Range:     2,
-			MsgLen:    k,
-			MsgBits:   0xA5A5A5A5A5A5A5A5,
-			Seed:      o.seed(),
-			MaxRounds: 10_000_000,
+			Name:         fmt.Sprintf("theory/k=%d", k),
+			ProtocolName: "NeighborWatchRB",
+			Deploy:       GridDeploy,
+			GridW:        gridW,
+			Range:        2,
+			MsgLen:       k,
+			MsgBits:      0xA5A5A5A5A5A5A5A5,
+			Seed:         o.seed(),
+			MaxRounds:    10_000_000,
 		}
 		_, agg := cell(s, o, reps)
 		msgLen.Add(k, fmt.Sprintf("%.0f", agg.EndRound.Mean), fmt.Sprintf("%.0f", agg.EndRound.Mean/float64(k)))
@@ -274,7 +283,7 @@ func DualMode(o Options) []Table {
 
 	nodes := int(density * side * side)
 	flood := Scenario{
-		Name: "dualmode/flood", Protocol: core.EpidemicRB, Deploy: Uniform,
+		Name: "dualmode/flood", ProtocolName: "Epidemic", Deploy: Uniform,
 		Nodes: nodes, MapSide: side, Range: r,
 		MsgLen: payloadBits, MsgBits: 0xDEADBEEF42,
 		Seed: o.seed(), MaxRounds: 1_000_000,
@@ -289,7 +298,7 @@ func DualMode(o Options) []Table {
 	for _, dlen := range []int{4, 6, 8} {
 		dig := flood
 		dig.Name = fmt.Sprintf("dualmode/digest%d", dlen)
-		dig.Protocol = core.NeighborWatchRB
+		dig.ProtocolName = "NeighborWatchRB"
 		dig.MsgLen = dlen
 		dig.MsgBits = 0x5bd1e995 // stand-in digest bits
 		_, dAgg := cell(dig, o, reps)

@@ -17,7 +17,8 @@ import (
 )
 
 // Collector accumulates per-round statistics. Attach it to an engine
-// with Engine.OnRound = c.Hook() (compose with other hooks via Chain).
+// with Engine.OnRound = c.Hook(), or registered at build time with
+// core.WithRoundHook(c.Hook()), which also chains multiple hooks.
 // It is not safe for concurrent mutation; the engine invokes hooks from
 // a single goroutine.
 type Collector struct {
@@ -118,15 +119,4 @@ func (c *Collector) String() string {
 		}
 	}
 	return sb.String()
-}
-
-// Chain composes several OnRound hooks into one.
-func Chain(hooks ...func(uint64, []radio.Tx)) func(uint64, []radio.Tx) {
-	return func(r uint64, txs []radio.Tx) {
-		for _, h := range hooks {
-			if h != nil {
-				h(r, txs)
-			}
-		}
-	}
 }

@@ -85,17 +85,3 @@ func TestString(t *testing.T) {
 		}
 	}
 }
-
-func TestChain(t *testing.T) {
-	var a, b int
-	h := Chain(
-		func(uint64, []radio.Tx) { a++ },
-		nil,
-		func(uint64, []radio.Tx) { b++ },
-	)
-	h(1, nil)
-	h(2, nil)
-	if a != 2 || b != 2 {
-		t.Errorf("chain invoked a=%d b=%d", a, b)
-	}
-}

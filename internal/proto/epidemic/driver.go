@@ -1,0 +1,44 @@
+package epidemic
+
+import (
+	"authradio/internal/core"
+	"authradio/internal/schedule"
+)
+
+// Driver wires the epidemic flooding baseline into a world. It
+// self-registers with core's protocol-driver registry (see
+// internal/protocols).
+type Driver struct{}
+
+// Name implements core.ProtocolDriver.
+func (Driver) Name() string { return "Epidemic" }
+
+// Aliases implements core.ProtocolDriver.
+func (Driver) Aliases() []string { return []string{"flood", "epidemicrb"} }
+
+// Build implements core.ProtocolDriver.
+func (Driver) Build(cfg core.Config, b *core.WorldBuilder) error {
+	d := b.Deployment()
+	// The baseline shares the bit protocols' 6-round MAC slots: one
+	// slot carries the whole message (the paper's modified WSNet MAC
+	// is likewise common to all protocols), keeping the comparison
+	// like-for-like.
+	ns := b.NodeSchedule(2*d.R+cfg.Medium.SenseRange(), schedule.SlotLen, true)
+	sh := NewShared(d, ns, cfg.Msg.Len, cfg.SourceID, cfg.EpidemicRepeats)
+	b.SetCycle(ns.Cycle, ns.NumSlots)
+	// 1-round-message slots have no veto rounds for jammers to target.
+	b.SetJamVetoOnly(false)
+	for i := 0; i < d.N(); i++ {
+		switch {
+		case i == cfg.SourceID:
+			b.AddDevice(NewSource(sh, cfg.Msg))
+		case b.Role(i) == core.Honest:
+			b.AddNode(i, NewNode(sh, i))
+		case b.Role(i) == core.Liar:
+			b.AddLiar(i, NewLiar(sh, i, cfg.FakeMsg))
+		}
+	}
+	return nil
+}
+
+func init() { core.Register(Driver{}) }

@@ -1,0 +1,68 @@
+package gossip
+
+import (
+	"fmt"
+
+	"authradio/internal/core"
+	"authradio/internal/schedule"
+)
+
+// Knob names accepted through core.Config.Params.
+const (
+	// ParamFanout is each holder's rebroadcast budget (default
+	// DefaultFanout).
+	ParamFanout = "gossip.fanout"
+	// ParamProb is the per-slot forwarding probability (default
+	// DefaultProb).
+	ParamProb = "gossip.prob"
+)
+
+// Driver wires GossipRB into a world. The knobs arrive through the
+// generic Params bag rather than dedicated core.Config fields — this
+// driver deliberately uses only the registry's public extension
+// surface.
+type Driver struct{}
+
+// Name implements core.ProtocolDriver.
+func (Driver) Name() string { return "GossipRB" }
+
+// Aliases implements core.ProtocolDriver.
+func (Driver) Aliases() []string { return []string{"gossip"} }
+
+// Build implements core.ProtocolDriver.
+func (Driver) Build(cfg core.Config, b *core.WorldBuilder) error {
+	d := b.Deployment()
+	// Share the baseline's slot structure (one whole-message frame in
+	// the first round of a 6-round MAC slot) so comparisons against
+	// Epidemic isolate the forwarding policy.
+	ns := b.NodeSchedule(2*d.R+cfg.Medium.SenseRange(), schedule.SlotLen, true)
+	// Params is caller input, not programmer input: reject bad knobs as
+	// errors rather than tripping NewShared's panics, and refuse to
+	// silently truncate a fractional fanout.
+	rawFanout := b.Param(ParamFanout, DefaultFanout)
+	fanout := int(rawFanout)
+	if rawFanout < 1 || float64(fanout) != rawFanout {
+		return fmt.Errorf("gossip: %s must be an integer >= 1, got %v", ParamFanout, rawFanout)
+	}
+	prob := b.Param(ParamProb, DefaultProb)
+	if prob <= 0 || prob > 1 {
+		return fmt.Errorf("gossip: %s must be in (0, 1], got %v", ParamProb, prob)
+	}
+	sh := NewShared(d, ns, cfg.Msg.Len, cfg.SourceID, fanout, prob, cfg.Seed)
+	b.SetCycle(ns.Cycle, ns.NumSlots)
+	// Whole-message slots have no veto rounds for jammers to target.
+	b.SetJamVetoOnly(false)
+	for i := 0; i < d.N(); i++ {
+		switch {
+		case i == cfg.SourceID:
+			b.AddDevice(NewSource(sh, cfg.Msg))
+		case b.Role(i) == core.Honest:
+			b.AddNode(i, NewNode(sh, i))
+		case b.Role(i) == core.Liar:
+			b.AddLiar(i, NewLiar(sh, i, cfg.FakeMsg))
+		}
+	}
+	return nil
+}
+
+func init() { core.Register(Driver{}) }

@@ -1,0 +1,185 @@
+// Package gossip implements GossipRB, a probabilistic-forwarding
+// variant of the epidemic baseline: a device that holds the message
+// forwards it in each of its schedule slots with probability Prob,
+// until it has spent a budget of Fanout rebroadcasts. Fanout > 1 buys
+// loss resilience (the deterministic baseline transmits exactly once),
+// while Prob < 1 desynchronises rebroadcasts of neighboring adopters
+// across cycles, at the cost of a probabilistic propagation delay. Like
+// the baseline it authenticates nothing — receivers adopt the first
+// message they decode.
+//
+// GossipRB is not one of the paper's protocols. It exists as the proof
+// of core's protocol-driver registry: the package registers its driver
+// itself (see driver.go) and core builds it without naming it — no
+// enum entry, no switch arm, no core edit.
+package gossip
+
+import (
+	"authradio/internal/bitcodec"
+	"authradio/internal/geom"
+	"authradio/internal/radio"
+	"authradio/internal/schedule"
+	"authradio/internal/sim"
+	"authradio/internal/topo"
+	"authradio/internal/xrand"
+)
+
+// Default knob values (see Shared).
+const (
+	DefaultFanout = 3
+	DefaultProb   = 0.8
+)
+
+// rngTag is the xrand derivation label of the per-device forwarding
+// streams.
+const rngTag = 0x60551
+
+// Shared is the immutable per-run configuration.
+type Shared struct {
+	D        *topo.Deployment
+	NS       *schedule.NodeSchedule
+	MsgLen   int
+	SourceID int
+	// Fanout is each holder's rebroadcast budget.
+	Fanout int
+	// Prob is the per-slot forwarding probability in (0, 1]. A skipped
+	// slot does not consume budget, so every holder eventually spends
+	// all Fanout rebroadcasts.
+	Prob float64
+	// Seed roots the per-device forwarding randomness.
+	Seed uint64
+}
+
+// NewShared validates and returns a configuration.
+func NewShared(d *topo.Deployment, ns *schedule.NodeSchedule, msgLen, sourceID, fanout int, prob float64, seed uint64) *Shared {
+	if msgLen <= 0 || msgLen > 64 {
+		panic("gossip: message length out of range")
+	}
+	if fanout < 1 {
+		panic("gossip: fanout must be >= 1")
+	}
+	if prob <= 0 || prob > 1 {
+		panic("gossip: forwarding probability must be in (0, 1]")
+	}
+	return &Shared{D: d, NS: ns, MsgLen: msgLen, SourceID: sourceID, Fanout: fanout, Prob: prob, Seed: seed}
+}
+
+// Node is a GossipRB device. The source is a Node preloaded with the
+// message (NewSource); liars are preloaded with a fake message
+// (NewLiar).
+type Node struct {
+	sh  *Shared
+	id  int
+	pos geom.Point
+	rng *xrand.Rand
+
+	msg         bitcodec.Message
+	has         bool
+	liar        bool
+	txLeft      int
+	completedAt uint64
+}
+
+// NewNode builds a (message-less) honest node.
+func NewNode(sh *Shared, id int) *Node {
+	return &Node{sh: sh, id: id, pos: sh.D.Pos[id], rng: xrand.Derive(sh.Seed, rngTag, uint64(id))}
+}
+
+// NewSource builds the broadcast source.
+func NewSource(sh *Shared, msg bitcodec.Message) *Node {
+	n := NewNode(sh, sh.SourceID)
+	n.adopt(msg, 0)
+	return n
+}
+
+// NewLiar builds a node gossiping a fake message from the start.
+func NewLiar(sh *Shared, id int, fake bitcodec.Message) *Node {
+	n := NewNode(sh, id)
+	n.adopt(fake, 0)
+	n.liar = true
+	return n
+}
+
+func (n *Node) adopt(m bitcodec.Message, r uint64) {
+	if m.Len != n.sh.MsgLen {
+		panic("gossip: message length mismatch")
+	}
+	n.msg = m
+	n.has = true
+	n.txLeft = n.sh.Fanout
+	n.completedAt = r
+}
+
+// ID implements sim.Device.
+func (n *Node) ID() int { return n.id }
+
+// Pos implements sim.Device.
+func (n *Node) Pos() geom.Point { return n.pos }
+
+// IsLiar reports whether this node gossips a fake message.
+func (n *Node) IsLiar() bool { return n.liar }
+
+// Complete reports whether the node holds a message.
+func (n *Node) Complete() bool { return n.has }
+
+// CompletedAt returns the adoption round.
+func (n *Node) CompletedAt() uint64 { return n.completedAt }
+
+// CommittedBits returns MsgLen once a message is held, else 0 (gossip
+// transfers are all-or-nothing).
+func (n *Node) CommittedBits() int {
+	if n.has {
+		return n.sh.MsgLen
+	}
+	return 0
+}
+
+// Message returns the adopted message.
+func (n *Node) Message() (bitcodec.Message, bool) {
+	if !n.has {
+		return bitcodec.Message{}, false
+	}
+	return n.msg, true
+}
+
+// Wake implements sim.Device. Devices without the message listen every
+// round; holders flip a forwarding coin at each of their own slots
+// until the fanout budget is spent, then stop.
+func (n *Node) Wake(r uint64) sim.Step {
+	if !n.has {
+		return sim.Step{Action: sim.Listen, NextWake: r + 1}
+	}
+	if n.txLeft == 0 {
+		return sim.Step{Action: sim.Sleep, NextWake: sim.NoWake}
+	}
+	mySlot := n.sh.NS.Slot[n.id]
+	_, slot, sub := n.sh.NS.At(r)
+	if slot != mySlot || sub != 0 {
+		return sim.Step{Action: sim.Sleep, NextWake: n.sh.NS.NextStart(r+1, mySlot)}
+	}
+	next := n.sh.NS.NextStart(r+1, mySlot)
+	if !n.rng.Bool(n.sh.Prob) {
+		// Skipped slot: the budget is intact, try again next cycle.
+		return sim.Step{Action: sim.Sleep, NextWake: next}
+	}
+	n.txLeft--
+	if n.txLeft == 0 {
+		next = sim.NoWake
+	}
+	return sim.Step{
+		Action:   sim.Transmit,
+		Frame:    radio.Frame{Kind: radio.KindData, Payload: n.msg.Bits, PayloadLen: uint8(n.msg.Len)},
+		NextWake: next,
+	}
+}
+
+// Deliver implements sim.Device: adopt the first decoded message.
+func (n *Node) Deliver(r uint64, obs radio.Obs) {
+	if n.has || !obs.Decoded || obs.Frame.Kind != radio.KindData {
+		return
+	}
+	if int(obs.Frame.PayloadLen) != n.sh.MsgLen {
+		return
+	}
+	n.adopt(bitcodec.NewMessage(obs.Frame.Payload, n.sh.MsgLen), r)
+}

@@ -1,0 +1,46 @@
+package multipath
+
+import (
+	"authradio/internal/core"
+	"authradio/internal/schedule"
+)
+
+// Driver wires MultiPathRB into a world: the greedy per-device
+// schedule, the source, and one protocol node per participating device.
+// It self-registers with core's protocol-driver registry (see
+// internal/protocols).
+type Driver struct{}
+
+// Name implements core.ProtocolDriver.
+func (Driver) Name() string { return "MultiPathRB" }
+
+// Aliases implements core.ProtocolDriver.
+func (Driver) Aliases() []string { return []string{"mp", "multipath"} }
+
+// Build implements core.ProtocolDriver.
+func (Driver) Build(cfg core.Config, b *core.WorldBuilder) error {
+	d := b.Deployment()
+	// Same-slot devices and their responders (within R) must be
+	// mutually undetectable: spacing > 2R + sense range.
+	ns := b.NodeSchedule(2*d.R+cfg.Medium.SenseRange(), schedule.SlotLen, true)
+	sh := NewShared(d, ns, cfg.Msg.Len, cfg.SourceID, cfg.T, b.Active())
+	if cfg.MPHeardCap > 0 {
+		sh.HeardCap = cfg.MPHeardCap
+	}
+	b.SetCycle(ns.Cycle, ns.NumSlots)
+	b.AddDevice(NewSource(sh, cfg.Msg))
+	for i := 0; i < d.N(); i++ {
+		if i == cfg.SourceID {
+			continue
+		}
+		switch b.Role(i) {
+		case core.Honest:
+			b.AddNode(i, NewNode(sh, i))
+		case core.Liar:
+			b.AddLiar(i, NewLiar(sh, i, cfg.FakeMsg))
+		}
+	}
+	return nil
+}
+
+func init() { core.Register(Driver{}) }

@@ -1,0 +1,58 @@
+package nwatch
+
+import (
+	"authradio/internal/core"
+)
+
+// Driver wires NeighborWatchRB (or its 2-voting variant) into a world:
+// the square-grid schedule, the source, and one protocol node per
+// participating device. It self-registers with core's protocol-driver
+// registry (see internal/protocols).
+type Driver struct {
+	// Votes is the number of distinct neighboring squares that must
+	// deliver a bit before it is committed: 1 for plain
+	// NeighborWatchRB, 2 for the 2-voting variant.
+	Votes int
+}
+
+// Name implements core.ProtocolDriver.
+func (dr Driver) Name() string {
+	if dr.Votes == 2 {
+		return "NeighborWatchRB-2vote"
+	}
+	return "NeighborWatchRB"
+}
+
+// Aliases implements core.ProtocolDriver.
+func (dr Driver) Aliases() []string {
+	if dr.Votes == 2 {
+		return []string{"nw2", "2vote", "neighborwatch2"}
+	}
+	return []string{"nw", "neighborwatch"}
+}
+
+// Build implements core.ProtocolDriver.
+func (dr Driver) Build(cfg core.Config, b *core.WorldBuilder) error {
+	d := b.Deployment()
+	g := b.SquareGrid(cfg.SquareSide)
+	sh := NewShared(d, g, cfg.Msg.Len, cfg.SourceID, dr.Votes, b.Active())
+	b.SetCycle(g.Cycle, g.NumSlots)
+	b.AddDevice(NewSource(sh, cfg.Msg))
+	for i := 0; i < d.N(); i++ {
+		if i == cfg.SourceID {
+			continue
+		}
+		switch b.Role(i) {
+		case core.Honest:
+			b.AddNode(i, NewNode(sh, i))
+		case core.Liar:
+			b.AddLiar(i, NewLiar(sh, i, cfg.FakeMsg))
+		}
+	}
+	return nil
+}
+
+func init() {
+	core.Register(Driver{Votes: 1})
+	core.Register(Driver{Votes: 2})
+}

@@ -1,0 +1,22 @@
+// Package protocols registers every built-in protocol driver with
+// core's driver registry, through the blank imports below. core cannot
+// import the driver packages itself (they import core — the classic
+// database/sql shape), so any binary, example, or test that builds
+// worlds through core.Build imports this package for its side effect:
+//
+//	import _ "authradio/internal/protocols"
+//
+// internal/experiment imports it, so everything going through the
+// experiment harness (cmd/rbsim, cmd/rbexp, the benchmarks) is covered
+// transitively. A protocol developed outside this repository does not
+// belong here: its own package registers its driver, and the program
+// that wants it imports that package — see internal/proto/gossip for
+// the shape.
+package protocols
+
+import (
+	_ "authradio/internal/proto/epidemic"
+	_ "authradio/internal/proto/gossip"
+	_ "authradio/internal/proto/multipath"
+	_ "authradio/internal/proto/nwatch"
+)

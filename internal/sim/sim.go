@@ -455,7 +455,7 @@ func (e *Engine) execRound(r uint64, bkt1, bkt2 []int32) {
 	e.txs = e.txs[:0]
 	e.listenIxs = e.listenIxs[:0]
 	srcSorted := true
-	lastSrc := -1 << 62
+	lastSrc := math.MinInt
 	for i, st := range steps {
 		ix := wakes[i]
 		switch st.Action {
