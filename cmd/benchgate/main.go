@@ -1,0 +1,167 @@
+// Command benchgate compares two `go test -bench` result files and
+// fails when a gated benchmark regressed beyond a threshold. It is the
+// hard gate behind the CI bench job: benchstat renders the
+// human-readable comparison, benchgate renders the verdict, because
+// its input format (raw benchmark lines) and its decision rule
+// (median-over-counts ratio) are stable across benchstat versions.
+//
+// Usage:
+//
+//	benchgate -old baseline.txt -new current.txt \
+//	    -gate '^BenchmarkDenseRound' -threshold 0.15
+//
+// Both files hold standard benchmark output (any -count; medians are
+// taken per benchmark name, with the -<GOMAXPROCS> suffix stripped).
+// Every benchmark present in both files is reported; only those whose
+// name matches -gate can fail the run. A gated benchmark missing from
+// the baseline (new benchmark) or from the current run (deleted
+// benchmark) is reported but never fails — the gate compares, it does
+// not police benchmark existence.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"authradio/internal/stats"
+)
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "", "baseline benchmark results file")
+		newPath   = flag.String("new", "", "current benchmark results file")
+		gate      = flag.String("gate", "^BenchmarkDenseRound", "regexp of benchmark names that may fail the gate")
+		threshold = flag.Float64("threshold", 0.15, "maximum tolerated slowdown of a gated benchmark (0.15 = +15% ns/op)")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
+		os.Exit(2)
+	}
+	gateRE, err := regexp.Compile(*gate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: bad -gate: %v\n", err)
+		os.Exit(2)
+	}
+	oldMed, err := medianFile(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	newMed, err := medianFile(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	regressed := report(os.Stdout, oldMed, newMed, gateRE, *threshold)
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d gated benchmark(s) regressed > %.0f%%: %s\n",
+			len(regressed), *threshold*100, strings.Join(regressed, ", "))
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts (name, ns/op) samples from benchmark output.
+// Lines that are not benchmark results are ignored. The
+// -<GOMAXPROCS> suffix is stripped so runs from machines with
+// different core counts compare under one name.
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	samples := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// BenchmarkName-8  <iters>  <value> ns/op  [more unit pairs...]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad ns/op value %q for %s", fields[i], name)
+			}
+			samples[name] = append(samples[name], v)
+			break
+		}
+	}
+	return samples, sc.Err()
+}
+
+// medianFile reduces each benchmark's samples to its median (robust
+// to the occasional noisy count, unlike a mean).
+func medianFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	samples, err := parseBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	out := make(map[string]float64, len(samples))
+	for name, s := range samples {
+		out[name] = stats.Median(s)
+	}
+	return out, nil
+}
+
+// report prints one line per benchmark (union of both files, sorted)
+// and returns the gated benchmarks whose median ns/op grew by more
+// than threshold.
+func report(w io.Writer, oldMed, newMed map[string]float64, gate *regexp.Regexp, threshold float64) []string {
+	names := make([]string, 0, len(oldMed)+len(newMed))
+	for n := range oldMed {
+		names = append(names, n)
+	}
+	for n := range newMed {
+		if _, ok := oldMed[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var regressed []string
+	for _, n := range names {
+		o, haveOld := oldMed[n]
+		c, haveNew := newMed[n]
+		tag := "      "
+		if gate.MatchString(n) {
+			tag = "gated "
+		}
+		switch {
+		case !haveOld:
+			fmt.Fprintf(w, "%s%-40s (no baseline)        new %12.0f ns/op\n", tag, n, c)
+		case !haveNew:
+			fmt.Fprintf(w, "%s%-40s old %12.0f ns/op (not run)\n", tag, n, o)
+		default:
+			ratio := c / o
+			verdict := "ok"
+			if gate.MatchString(n) && ratio > 1+threshold {
+				verdict = "REGRESSED"
+				regressed = append(regressed, fmt.Sprintf("%s (%+.1f%%)", n, (ratio-1)*100))
+			}
+			fmt.Fprintf(w, "%s%-40s old %12.0f  new %12.0f ns/op  %+6.1f%%  %s\n",
+				tag, n, o, c, (ratio-1)*100, verdict)
+		}
+	}
+	return regressed
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"authradio/internal/stats"
+)
+
+const oldBench = `goos: linux
+goarch: amd64
+pkg: authradio
+BenchmarkDenseRound4096-8    	     100	   2850000 ns/op	  120 B/op
+BenchmarkDenseRound4096-8    	     100	   2900000 ns/op	  120 B/op
+BenchmarkDenseRound4096-8    	     100	   2800000 ns/op	  121 B/op
+BenchmarkSparseCalendar-8    	    5000	    400000 ns/op
+BenchmarkGoneBench-8         	     100	    100000 ns/op
+PASS
+`
+
+func samples(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	raw, err := parseBench(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64, len(raw))
+	for n, s := range raw {
+		out[n] = stats.Median(s)
+	}
+	return out
+}
+
+func TestParseBenchMedians(t *testing.T) {
+	med := samples(t, oldBench)
+	if len(med) != 3 {
+		t.Fatalf("parsed %d benchmarks: %v", len(med), med)
+	}
+	// The -8 GOMAXPROCS suffix is stripped; three counts reduce to the
+	// middle value.
+	if med["BenchmarkDenseRound4096"] != 2850000 {
+		t.Errorf("dense median %v", med["BenchmarkDenseRound4096"])
+	}
+	if med["BenchmarkSparseCalendar"] != 400000 {
+		t.Errorf("sparse median %v", med["BenchmarkSparseCalendar"])
+	}
+}
+
+func TestReportGate(t *testing.T) {
+	gate := regexp.MustCompile(`^BenchmarkDenseRound`)
+	oldMed := samples(t, oldBench)
+
+	// +10% on a gated benchmark: within the 15% budget.
+	within := `BenchmarkDenseRound4096-16   	     100	   3135000 ns/op
+BenchmarkSparseCalendar-16   	    5000	    900000 ns/op
+BenchmarkNewBench-16         	     100	     50000 ns/op
+`
+	var sb strings.Builder
+	regressed := report(&sb, oldMed, samples(t, within), gate, 0.15)
+	if len(regressed) != 0 {
+		t.Fatalf("within-threshold run regressed: %v", regressed)
+	}
+	out := sb.String()
+	// The ungated sparse benchmark more than doubled: reported, not
+	// failed. New and vanished benchmarks are reported, not failed.
+	for _, want := range []string{"BenchmarkSparseCalendar", "no baseline", "not run"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// +20% on a gated benchmark fails the gate.
+	over := `BenchmarkDenseRound4096-16   	     100	   3420000 ns/op
+`
+	regressed = report(&sb, oldMed, samples(t, over), gate, 0.15)
+	if len(regressed) != 1 || !strings.Contains(regressed[0], "BenchmarkDenseRound4096") {
+		t.Fatalf("over-threshold run: %v", regressed)
+	}
+}
+
+func TestParseBenchRejectsGarbageValue(t *testing.T) {
+	_, err := parseBench(strings.NewReader("BenchmarkX-8  10  zz ns/op\n"))
+	if err == nil {
+		t.Fatal("garbage ns/op accepted")
+	}
+}

@@ -11,7 +11,12 @@
 // index), plus dense, a performance diagnostic comparing the spatially
 // indexed channel resolution against the legacy linear scan on both
 // built-in media (Friis over uniform deployments, disk over L-infinity
-// grids).
+// grids), and families, the protocol-family sweep enumerating every
+// registered driver instance (core.Instances()) on one shared grid.
+//
+// -json emits each experiment's tables as one machine-readable JSON
+// document instead of aligned text; with a fixed seed the document is
+// byte-identical across runs, which is what the CI golden check diffs.
 package main
 
 import (
@@ -32,6 +37,7 @@ func main() {
 		reps    = flag.Int("reps", 0, "override repetitions per cell (0 = preset)")
 		workers = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut = flag.Bool("json", false, "emit one JSON document per experiment (stable for a fixed seed)")
 		quiet   = flag.Bool("q", false, "suppress per-cell progress")
 	)
 	flag.Parse()
@@ -60,7 +66,15 @@ func main() {
 
 	for _, name := range names {
 		fmt.Fprintf(os.Stderr, "== running %s (full=%v) ==\n", name, *full)
-		for _, tbl := range reg[name](opt) {
+		tables := reg[name](opt)
+		if *jsonOut {
+			if err := experiment.WriteJSON(os.Stdout, name, opt, tables); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		for _, tbl := range tables {
 			if *csv {
 				fmt.Printf("# %s\n", tbl.Title)
 				tbl.CSV(os.Stdout)

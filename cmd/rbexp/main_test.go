@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"authradio/internal/experiment"
+)
+
+// TestFamiliesGoldenJSON pins the exact JSON document `rbexp -exp
+// families -json -seed 1` emits (the CI golden job diffs the binary's
+// output against the same file). Byte-for-byte: family enumeration,
+// instance naming, and the four metric computations cannot drift
+// silently. Regenerate deliberately with
+//
+//	go run ./cmd/rbexp -exp families -json -q -seed 1 > cmd/rbexp/testdata/families_golden.json
+//
+// after any change that intentionally moves the numbers (a new family
+// instance, a retuned preset, an engine change that is allowed to
+// reorder randomness).
+func TestFamiliesGoldenJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	want, err := os.ReadFile("testdata/families_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	opt := experiment.Options{Seed: 1}
+	if err := experiment.WriteJSON(&got, "families", opt, experiment.Families(opt)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("families JSON drifted from testdata/families_golden.json:\ngot:\n%s\nwant:\n%s", got.Bytes(), want)
+	}
+}

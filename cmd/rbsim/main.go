@@ -119,7 +119,9 @@ func main() {
 }
 
 // protocolList renders the driver registry, one line per protocol with
-// its aliases.
+// its aliases, and one indented line per family instance — every
+// printed name (and "<family>/<preset>" instance) is a valid -proto
+// argument.
 func protocolList() string {
 	var b strings.Builder
 	for _, name := range core.Names() {
@@ -131,6 +133,11 @@ func protocolList() string {
 			fmt.Fprintf(&b, " aliases: %s", strings.Join(aliases, ", "))
 		}
 		b.WriteByte('\n')
+		if fam, ok := drv.(core.FamilyDriver); ok {
+			for _, inst := range fam.Instances() {
+				fmt.Fprintf(&b, "  %s/%s\n", name, inst.Name)
+			}
+		}
 	}
 	return b.String()
 }

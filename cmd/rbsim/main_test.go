@@ -2,14 +2,24 @@ package main
 
 import "testing"
 
-// TestProtocolListGolden pins the exact `rbsim -proto list` output: the
-// sorted driver registry with sorted aliases. A new registration (or a
+// TestProtocolListGolden pins the exact `rbsim -proto list` output:
+// the sorted driver registry with sorted aliases, and each family's
+// instances indented beneath it. A new registration or preset (or a
 // renamed driver) must update this string deliberately.
 func TestProtocolListGolden(t *testing.T) {
 	const want = "Epidemic               aliases: epidemicrb, flood\n" +
+		"  Epidemic/r2\n" +
+		"  Epidemic/r3\n" +
 		"GossipRB               aliases: gossip\n" +
+		"  GossipRB/f2p0.5\n" +
+		"  GossipRB/f3p0.7\n" +
+		"  GossipRB/f4p0.9\n" +
 		"MultiPathRB            aliases: mp, multipath\n" +
+		"  MultiPathRB/t1\n" +
+		"  MultiPathRB/t2\n" +
 		"NeighborWatchRB        aliases: neighborwatch, nw\n" +
+		"  NeighborWatchRB/k3\n" +
+		"  NeighborWatchRB/k4\n" +
 		"NeighborWatchRB-2vote  aliases: 2vote, neighborwatch2, nw2\n"
 	if got := protocolList(); got != want {
 		t.Fatalf("protocol list drifted:\ngot:\n%swant:\n%s", got, want)

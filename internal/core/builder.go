@@ -29,6 +29,9 @@ type WorldBuilder struct {
 	// after the driver (true unless the driver's slots have no veto
 	// rounds; see SetJamVetoOnly).
 	jamVetoOnly bool
+	// paramErrs collects typed-getter failures; Build surfaces them as
+	// an error even when the driver's Build returns nil.
+	paramErrs []error
 }
 
 // Deployment returns the (validated) device deployment.
@@ -47,15 +50,47 @@ func (b *WorldBuilder) Role(i int) Role {
 // and jammers do not participate in the protocol).
 func (b *WorldBuilder) Active() []bool { return b.active }
 
-// Param returns the named driver knob from Config.Params, or def when
-// absent. Drivers registered outside this package use Params for their
-// protocol-specific configuration (built-in knobs have dedicated Config
-// fields).
-func (b *WorldBuilder) Param(name string, def float64) float64 {
-	if v, ok := b.cfg.Params[name]; ok {
-		return v
+// The typed param getters read driver knobs from Config.Params (after
+// any family-preset overlay), falling back to def when the knob is
+// absent. A wrongly-typed value is recorded on the builder and
+// surfaced as an error from Build — the driver receives def and may
+// finish constructing, but the world is discarded. Drivers therefore
+// range-check the returned value and need no type plumbing of their
+// own.
+
+// FloatParam returns the named float64 knob, or def when absent.
+func (b *WorldBuilder) FloatParam(name string, def float64) float64 {
+	v, err := b.cfg.Params.FloatOr(name, def)
+	b.noteParamErr(err)
+	return v
+}
+
+// IntParam returns the named int knob, or def when absent. Integral
+// float64 values convert; fractional ones are errors, not truncations.
+func (b *WorldBuilder) IntParam(name string, def int) int {
+	v, err := b.cfg.Params.IntOr(name, def)
+	b.noteParamErr(err)
+	return v
+}
+
+// BoolParam returns the named bool knob, or def when absent.
+func (b *WorldBuilder) BoolParam(name string, def bool) bool {
+	v, err := b.cfg.Params.BoolOr(name, def)
+	b.noteParamErr(err)
+	return v
+}
+
+// StringParam returns the named string knob, or def when absent.
+func (b *WorldBuilder) StringParam(name string, def string) string {
+	v, err := b.cfg.Params.StringOr(name, def)
+	b.noteParamErr(err)
+	return v
+}
+
+func (b *WorldBuilder) noteParamErr(err error) {
+	if err != nil {
+		b.paramErrs = append(b.paramErrs, err)
 	}
-	return def
 }
 
 // SetCycle records the schedule cycle in force and the number of slots
@@ -95,15 +130,17 @@ func (b *WorldBuilder) AddLiar(id int, n ProtocolNode) {
 // repetitions against cached deployments, and without this cache every
 // repetition would redo the greedy colouring (the most expensive part
 // of world construction after the deployment itself). nodeSchedCache
-// keys on deployment pointer identity — deployments recalled from the
-// experiment cache share schedules, fresh deployments never falsely
-// match; gridCache needs no deployment at all, since a SquareGrid is a
-// pure function of (range, side, sense range) and carries no per-
-// deployment state. On overflow the whole map is dropped, like the
-// deployment cache (sweeps revisit keys in cell order; partial
-// eviction buys nothing).
+// keys on the deployment's content fingerprint (plus its size, a free
+// collision guard), so equal-but-distinct deployment objects — built
+// by callers that bypass the experiment harness's deployment cache —
+// share schedules too; gridCache needs no deployment at all, since a
+// SquareGrid is a pure function of (range, side, sense range) and
+// carries no per-deployment state. On overflow the whole map is
+// dropped, like the deployment cache (sweeps revisit keys in cell
+// order; partial eviction buys nothing).
 type nodeSchedKey struct {
-	d       *topo.Deployment
+	dfp     uint64
+	n       int
 	spacing float64
 	slotLen int
 	reserve bool
@@ -129,7 +166,8 @@ const maxSchedCache = 256
 // The result is shared and must be treated as immutable.
 func (b *WorldBuilder) NodeSchedule(spacing float64, slotLen int, reserveSourceSlot bool) *schedule.NodeSchedule {
 	key := nodeSchedKey{
-		d: b.cfg.Deploy, spacing: spacing, slotLen: slotLen,
+		dfp: b.cfg.Deploy.Fingerprint(), n: b.cfg.Deploy.N(),
+		spacing: spacing, slotLen: slotLen,
 		reserve: reserveSourceSlot, src: b.cfg.SourceID,
 	}
 	schedMu.Lock()

@@ -29,6 +29,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"authradio/internal/adversary"
@@ -149,11 +150,15 @@ type Config struct {
 	// MPHeardCap overrides MultiPathRB's HEARD relay cap per
 	// (bit, value); 0 keeps the default 3(t+1).
 	MPHeardCap int
-	// Params carries named knobs for protocol drivers registered
-	// outside this package (see WorldBuilder.Param); built-in protocols
-	// use the dedicated fields above. Keys are conventionally
-	// "<protocol>.<knob>", e.g. "gossip.fanout".
-	Params map[string]float64
+	// Params carries named typed knobs for protocol drivers (float64,
+	// int, bool or string values — see Params and the WorldBuilder's
+	// typed getters); built-in protocols default their family knobs
+	// from the dedicated fields above. Keys are conventionally
+	// "<protocol>.<knob>", e.g. "gossip.fanout". Wrongly-typed values
+	// surface as Build errors. When the configuration addresses a
+	// family instance ("GossipRB/f2p0.5"), the preset's knobs are
+	// merged over this bag, preset winning.
+	Params Params
 }
 
 // driverName returns the registry name the configuration addresses.
@@ -258,6 +263,12 @@ func Build(cfg Config, opts ...Option) (*World, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: unknown protocol %s (registered: %v)", cfg.driverName(), Names())
 	}
+	if id, isInstance := drv.(instanceDriver); isInstance {
+		// Family presets pin knobs: overlay them here so the merged bag
+		// is visible both to the driver's cfg and to the WorldBuilder's
+		// typed getters.
+		cfg.Params = id.mergedParams(cfg.Params)
+	}
 
 	role := func(i int) Role {
 		if cfg.Roles == nil {
@@ -282,6 +293,12 @@ func Build(cfg Config, opts ...Option) (*World, error) {
 
 	b := &WorldBuilder{cfg: cfg, w: w, active: active, jamVetoOnly: true}
 	if err := drv.Build(cfg, b); err != nil {
+		return nil, fmt.Errorf("core: building %s: %w", drv.Name(), err)
+	}
+	if err := errors.Join(b.paramErrs...); err != nil {
+		// Typed-getter failures recorded during the driver's Build:
+		// surfacing them here means a driver cannot silently run on a
+		// default after the caller supplied a malformed knob.
 		return nil, fmt.Errorf("core: building %s: %w", drv.Name(), err)
 	}
 

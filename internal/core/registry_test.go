@@ -133,6 +133,146 @@ func TestBuildWrapsDriverError(t *testing.T) {
 	}
 }
 
+// fakeFamily is a fakeDriver exposing presets; Build records the knob
+// value it saw so tests can check preset overlay semantics.
+type fakeFamily struct {
+	fakeDriver
+	insts []Instance
+	// sawKnob receives the "fam.knob" value Build resolved.
+	sawKnob *int
+}
+
+func (d fakeFamily) Instances() []Instance { return d.insts }
+
+func (d fakeFamily) Build(cfg Config, b *WorldBuilder) error {
+	if d.sawKnob != nil {
+		*d.sawKnob = b.IntParam("fam.knob", -1)
+	}
+	return d.fakeDriver.Build(cfg, b)
+}
+
+func TestFamilyRegistration(t *testing.T) {
+	var saw int
+	Register(fakeFamily{
+		fakeDriver: fakeDriver{name: "Fake-Fam", aliases: []string{"ffam"}},
+		insts: []Instance{
+			{Name: "lo", Params: Params{"fam.knob": 1}},
+			{Name: "hi", Params: Params{"fam.knob": 9}},
+		},
+		sawKnob: &saw,
+	})
+
+	// The base name and every instance resolve; instance lookups are
+	// case-insensitive on both components and work through aliases,
+	// always canonicalizing the returned Name.
+	for _, q := range []string{"Fake-Fam/lo", "fake-fam/LO", "FFAM/lo"} {
+		d, ok := Lookup(q)
+		if !ok {
+			t.Fatalf("Lookup(%q) missed", q)
+		}
+		if d.Name() != "Fake-Fam/lo" {
+			t.Fatalf("Lookup(%q).Name() = %q", q, d.Name())
+		}
+	}
+	if _, ok := Lookup("Fake-Fam/nope"); ok {
+		t.Fatal("Lookup invented an instance")
+	}
+	if _, ok := Lookup("Fake-A/lo"); ok {
+		t.Fatal("instance lookup on a non-family driver resolved")
+	}
+
+	// Names() stays the canonical driver list; Instances() adds the
+	// presets, sorted.
+	if names := Names(); slices.Contains(names, "Fake-Fam/lo") {
+		t.Fatal("Names() leaked an instance")
+	}
+	insts := Instances()
+	for _, want := range []string{"Fake-Fam", "Fake-Fam/lo", "Fake-Fam/hi", "Fake-A"} {
+		if !slices.Contains(insts, want) {
+			t.Fatalf("Instances() = %v missing %q", insts, want)
+		}
+	}
+	if !slices.IsSorted(insts) {
+		t.Fatalf("Instances() not sorted: %v", insts)
+	}
+
+	// Building an instance overlays its preset over the caller's bag —
+	// preset wins, sibling keys pass through — and the world reports
+	// the canonical instance name.
+	d := topo.Grid(4, 4, 2)
+	w, err := Build(Config{
+		Deploy: d, ProtocolName: "ffam/HI", Msg: bitcodec.NewMessage(1, 1), SourceID: -1,
+		Params: Params{"fam.knob": 555, "other": 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.DriverName != "Fake-Fam/hi" {
+		t.Fatalf("DriverName = %q", w.DriverName)
+	}
+	if saw != 9 {
+		t.Fatalf("instance build resolved fam.knob=%d, want the preset's 9", saw)
+	}
+	if v, _ := w.Cfg.Params.Int("other"); v != 2 {
+		t.Fatal("merge dropped a caller key")
+	}
+	// The bare family name still builds with the caller's knobs.
+	if _, err := Build(Config{
+		Deploy: d, ProtocolName: "Fake-Fam", Msg: bitcodec.NewMessage(1, 1), SourceID: -1,
+		Params: Params{"fam.knob": 555},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if saw != 555 {
+		t.Fatalf("bare family build resolved fam.knob=%d, want the caller's 555", saw)
+	}
+}
+
+func TestRegisterBadFamilyPanics(t *testing.T) {
+	cases := map[string]ProtocolDriver{
+		"slash-in-name":      fakeDriver{name: "Fake/Slash"},
+		"slash-in-alias":     fakeDriver{name: "Fake-SlashAlias", aliases: []string{"x/y"}},
+		"empty-instance":     fakeFamily{fakeDriver: fakeDriver{name: "Fake-EmptyInst"}, insts: []Instance{{Name: ""}}},
+		"slash-instance":     fakeFamily{fakeDriver: fakeDriver{name: "Fake-SlashInst"}, insts: []Instance{{Name: "a/b"}}},
+		"duplicate-instance": fakeFamily{fakeDriver: fakeDriver{name: "Fake-DupInst"}, insts: []Instance{{Name: "p"}, {Name: "P"}}},
+	}
+	for name, drv := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("Register did not panic")
+				}
+			}()
+			Register(drv)
+		})
+	}
+}
+
+// TestBuildSurfacesParamErrors checks a wrongly-typed knob consumed
+// through the builder's typed getters fails the Build even though the
+// driver itself returns nil.
+func TestBuildSurfacesParamErrors(t *testing.T) {
+	Register(fakeFamily{
+		fakeDriver: fakeDriver{name: "Fake-Typed"},
+		sawKnob:    new(int),
+	})
+	d := topo.Grid(3, 3, 2)
+	_, err := Build(Config{
+		Deploy: d, ProtocolName: "Fake-Typed", Msg: bitcodec.NewMessage(1, 1), SourceID: -1,
+		Params: Params{"fam.knob": "not-a-count"},
+	})
+	if err == nil {
+		t.Fatal("Build accepted a wrongly-typed knob")
+	}
+	var pe *ParamError
+	if !errors.As(err, &pe) || pe.Name != "fam.knob" {
+		t.Fatalf("err = %v, want a ParamError for fam.knob", err)
+	}
+	if !strings.Contains(err.Error(), "Fake-Typed") {
+		t.Fatalf("err %q does not name the driver", err)
+	}
+}
+
 // testBuilder returns a WorldBuilder over the deployment with the
 // defaults Build would apply, for exercising the schedule caches.
 func testBuilder(d *topo.Deployment) *WorldBuilder {
@@ -167,8 +307,17 @@ func TestNodeScheduleCache(t *testing.T) {
 	if b.NodeSchedule(spacing, schedule.SlotLen, false) == ns1 {
 		t.Fatal("different reservation shared a schedule")
 	}
-	if bOther := testBuilder(topo.Grid(6, 6, 2)); bOther.NodeSchedule(spacing, schedule.SlotLen, true) == ns1 {
-		t.Fatal("distinct deployment object shared a schedule")
+	// The cache keys on deployment content, not pointer identity: an
+	// equal-but-distinct deployment object (same grid, built afresh)
+	// hits the same entry, while any geometric difference misses.
+	if bTwin := testBuilder(topo.Grid(6, 6, 2)); bTwin.NodeSchedule(spacing, schedule.SlotLen, true) != ns1 {
+		t.Fatal("equal-but-distinct deployment missed the cache")
+	}
+	if bOther := testBuilder(topo.Grid(6, 7, 2)); bOther.NodeSchedule(spacing, schedule.SlotLen, true) == ns1 {
+		t.Fatal("geometrically different deployment shared a schedule")
+	}
+	if bRange := testBuilder(topo.Grid(6, 6, 3)); bRange.NodeSchedule(spacing, schedule.SlotLen, true) == ns1 {
+		t.Fatal("different range shared a schedule")
 	}
 
 	// The cached schedule is exactly the direct build.

@@ -67,9 +67,9 @@ type Scenario struct {
 
 	EpidemicRepeats int
 
-	// Params carries named knobs for drivers registered outside core
-	// (see core.Config.Params).
-	Params map[string]float64
+	// Params carries named typed knobs for protocol drivers (see
+	// core.Config.Params; family presets overlay it, preset winning).
+	Params core.Params
 
 	MaxRounds uint64
 	Seed      uint64

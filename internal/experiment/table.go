@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -84,6 +85,48 @@ func (t *Table) CSV(w io.Writer) {
 	}
 }
 
+// JSONReport is the machine-readable form of one named experiment's
+// output (rbexp's -json flag): the experiment, the knobs that
+// determine its content, and its rendered tables. Every cell is a
+// formatted string, so for a fixed (experiment, seed, full, reps) the
+// serialization is byte-identical across runs and machines — CI diffs
+// it against a golden file to pin family enumeration and metric
+// computation.
+type JSONReport struct {
+	Experiment string      `json:"experiment"`
+	Seed       uint64      `json:"seed"`
+	Full       bool        `json:"full"`
+	Tables     []JSONTable `json:"tables"`
+}
+
+// JSONTable mirrors Table for serialization.
+type JSONTable struct {
+	Title  string     `json:"title"`
+	Note   string     `json:"note,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+// WriteJSON emits the experiment's tables as one indented JSON
+// document followed by a newline.
+func WriteJSON(w io.Writer, experiment string, o Options, tables []Table) error {
+	rep := JSONReport{Experiment: experiment, Seed: o.seed(), Full: o.Full}
+	for _, t := range tables {
+		jt := JSONTable{Title: t.Title, Note: t.Note, Header: t.Header, Rows: t.Rows}
+		if jt.Rows == nil {
+			jt.Rows = [][]string{}
+		}
+		rep.Tables = append(rep.Tables, jt)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
 // Options controls the scale of a named experiment.
 type Options struct {
 	// Full selects paper-scale parameters; the default is a reduced
@@ -140,10 +183,11 @@ func Registry() map[string]Runner {
 		"dualmode":  DualMode,
 		"ablation":  Ablation,
 		"dense":     Dense,
+		"families":  Families,
 	}
 }
 
 // Names returns the registry keys in a stable order.
 func Names() []string {
-	return []string{"fig5", "jamming", "fig6", "fig7", "clustered", "mapsize", "epidemic", "theory", "dualmode", "ablation", "dense"}
+	return []string{"fig5", "jamming", "fig6", "fig7", "clustered", "mapsize", "epidemic", "theory", "dualmode", "ablation", "dense", "families"}
 }

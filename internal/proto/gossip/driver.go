@@ -18,9 +18,12 @@ const (
 )
 
 // Driver wires GossipRB into a world. The knobs arrive through the
-// generic Params bag rather than dedicated core.Config fields — this
+// typed Params bag rather than dedicated core.Config fields — this
 // driver deliberately uses only the registry's public extension
-// surface.
+// surface. It registers as a protocol family: the fanout/probability
+// presets below are addressable as "GossipRB/<preset>" and enumerated
+// by core.Instances(), so family sweeps compare forwarding policies in
+// one grid.
 type Driver struct{}
 
 // Name implements core.ProtocolDriver.
@@ -29,6 +32,18 @@ func (Driver) Name() string { return "GossipRB" }
 // Aliases implements core.ProtocolDriver.
 func (Driver) Aliases() []string { return []string{"gossip"} }
 
+// Instances implements core.FamilyDriver: the preset grid spans a
+// stingy flood (low fanout, coin-flip forwarding), the defaults'
+// neighborhood, and an eager one, so the family sweep brackets the
+// fanout/probability trade-off.
+func (Driver) Instances() []core.Instance {
+	return []core.Instance{
+		{Name: "f2p0.5", Params: core.Params{ParamFanout: 2, ParamProb: 0.5}},
+		{Name: "f3p0.7", Params: core.Params{ParamFanout: 3, ParamProb: 0.7}},
+		{Name: "f4p0.9", Params: core.Params{ParamFanout: 4, ParamProb: 0.9}},
+	}
+}
+
 // Build implements core.ProtocolDriver.
 func (Driver) Build(cfg core.Config, b *core.WorldBuilder) error {
 	d := b.Deployment()
@@ -36,15 +51,15 @@ func (Driver) Build(cfg core.Config, b *core.WorldBuilder) error {
 	// the first round of a 6-round MAC slot) so comparisons against
 	// Epidemic isolate the forwarding policy.
 	ns := b.NodeSchedule(2*d.R+cfg.Medium.SenseRange(), schedule.SlotLen, true)
-	// Params is caller input, not programmer input: reject bad knobs as
-	// errors rather than tripping NewShared's panics, and refuse to
-	// silently truncate a fractional fanout.
-	rawFanout := b.Param(ParamFanout, DefaultFanout)
-	fanout := int(rawFanout)
-	if rawFanout < 1 || float64(fanout) != rawFanout {
-		return fmt.Errorf("gossip: %s must be an integer >= 1, got %v", ParamFanout, rawFanout)
+	// Params is caller input, not programmer input: range-check the
+	// typed values as errors rather than tripping NewShared's panics.
+	// (Type errors — a bool fanout, a fractional count — are recorded
+	// by the getters and surfaced from core.Build.)
+	fanout := b.IntParam(ParamFanout, DefaultFanout)
+	if fanout < 1 {
+		return fmt.Errorf("gossip: %s must be an integer >= 1, got %v", ParamFanout, fanout)
 	}
-	prob := b.Param(ParamProb, DefaultProb)
+	prob := b.FloatParam(ParamProb, DefaultProb)
 	if prob <= 0 || prob > 1 {
 		return fmt.Errorf("gossip: %s must be in (0, 1], got %v", ParamProb, prob)
 	}

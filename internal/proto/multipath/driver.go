@@ -1,14 +1,23 @@
 package multipath
 
 import (
+	"fmt"
+
 	"authradio/internal/core"
 	"authradio/internal/schedule"
 )
 
+// ParamT is the typed knob (core.Config.Params key) overriding the
+// tolerance parameter t; it takes precedence over the dedicated
+// core.Config.T field, and is what the family presets pin.
+const ParamT = "multipath.t"
+
 // Driver wires MultiPathRB into a world: the greedy per-device
 // schedule, the source, and one protocol node per participating device.
 // It self-registers with core's protocol-driver registry (see
-// internal/protocols).
+// internal/protocols) as a protocol family: the tolerance presets
+// ("MultiPathRB/t<t>") span the disjoint-path requirement t+1 and are
+// enumerated by core.Instances() for family sweeps.
 type Driver struct{}
 
 // Name implements core.ProtocolDriver.
@@ -17,13 +26,25 @@ func (Driver) Name() string { return "MultiPathRB" }
 // Aliases implements core.ProtocolDriver.
 func (Driver) Aliases() []string { return []string{"mp", "multipath"} }
 
+// Instances implements core.FamilyDriver.
+func (Driver) Instances() []core.Instance {
+	return []core.Instance{
+		{Name: "t1", Params: core.Params{ParamT: 1}},
+		{Name: "t2", Params: core.Params{ParamT: 2}},
+	}
+}
+
 // Build implements core.ProtocolDriver.
 func (Driver) Build(cfg core.Config, b *core.WorldBuilder) error {
+	t := b.IntParam(ParamT, cfg.T)
+	if t < 0 {
+		return fmt.Errorf("multipath: %s must be an integer >= 0, got %v", ParamT, t)
+	}
 	d := b.Deployment()
 	// Same-slot devices and their responders (within R) must be
 	// mutually undetectable: spacing > 2R + sense range.
 	ns := b.NodeSchedule(2*d.R+cfg.Medium.SenseRange(), schedule.SlotLen, true)
-	sh := NewShared(d, ns, cfg.Msg.Len, cfg.SourceID, cfg.T, b.Active())
+	sh := NewShared(d, ns, cfg.Msg.Len, cfg.SourceID, t, b.Active())
 	if cfg.MPHeardCap > 0 {
 		sh.HeardCap = cfg.MPHeardCap
 	}

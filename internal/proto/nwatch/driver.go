@@ -1,17 +1,29 @@
 package nwatch
 
 import (
+	"fmt"
+
 	"authradio/internal/core"
 )
 
-// Driver wires NeighborWatchRB (or its 2-voting variant) into a world:
-// the square-grid schedule, the source, and one protocol node per
-// participating device. It self-registers with core's protocol-driver
-// registry (see internal/protocols).
+// ParamVotes is the typed knob (core.Config.Params key) overriding the
+// driver's vote requirement: the number of distinct neighboring
+// squares that must deliver a bit before it is committed.
+const ParamVotes = "nwatch.votes"
+
+// Driver wires NeighborWatchRB (or its k-voting variants) into a
+// world: the square-grid schedule, the source, and one protocol node
+// per participating device. It self-registers with core's
+// protocol-driver registry (see internal/protocols). The base driver
+// (Votes=1) is a protocol family: higher vote requirements are
+// registered as "NeighborWatchRB/k<votes>" instances pinning
+// ParamVotes, so sweeps compare the robustness/latency trade-off of
+// the voting ladder in one grid. The historical 2-voting variant keeps
+// its own registration ("NeighborWatchRB-2vote").
 type Driver struct {
-	// Votes is the number of distinct neighboring squares that must
-	// deliver a bit before it is committed: 1 for plain
-	// NeighborWatchRB, 2 for the 2-voting variant.
+	// Votes is the default vote requirement: 1 for plain
+	// NeighborWatchRB, 2 for the 2-voting variant. ParamVotes
+	// overrides it per build.
 	Votes int
 }
 
@@ -31,11 +43,29 @@ func (dr Driver) Aliases() []string {
 	return []string{"nw", "neighborwatch"}
 }
 
+// Instances implements core.FamilyDriver on the base driver: the
+// votes=k ladder beyond the dedicated 2-vote registration. The 2-vote
+// variant itself exposes no presets (it is one rung of this family
+// under its historical name).
+func (dr Driver) Instances() []core.Instance {
+	if dr.Votes != 1 {
+		return nil
+	}
+	return []core.Instance{
+		{Name: "k3", Params: core.Params{ParamVotes: 3}},
+		{Name: "k4", Params: core.Params{ParamVotes: 4}},
+	}
+}
+
 // Build implements core.ProtocolDriver.
 func (dr Driver) Build(cfg core.Config, b *core.WorldBuilder) error {
+	votes := b.IntParam(ParamVotes, dr.Votes)
+	if votes < 1 {
+		return fmt.Errorf("nwatch: %s must be an integer >= 1, got %v", ParamVotes, votes)
+	}
 	d := b.Deployment()
 	g := b.SquareGrid(cfg.SquareSide)
-	sh := NewShared(d, g, cfg.Msg.Len, cfg.SourceID, dr.Votes, b.Active())
+	sh := NewShared(d, g, cfg.Msg.Len, cfg.SourceID, votes, b.Active())
 	b.SetCycle(g.Cycle, g.NumSlots)
 	b.AddDevice(NewSource(sh, cfg.Msg))
 	for i := 0; i < d.N(); i++ {

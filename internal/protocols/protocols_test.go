@@ -2,11 +2,13 @@ package protocols_test
 
 import (
 	"slices"
+	"strings"
 	"testing"
 
 	"authradio/internal/bitcodec"
 	"authradio/internal/core"
 	"authradio/internal/proto/gossip"
+	"authradio/internal/proto/nwatch"
 	"authradio/internal/radio"
 	"authradio/internal/topo"
 
@@ -66,6 +68,98 @@ func TestEveryDriverRoundTrip(t *testing.T) {
 			}
 			if res.ByzTx != 0 {
 				t.Fatalf("%s: phantom Byzantine transmissions", name)
+			}
+		})
+	}
+}
+
+// TestEveryInstanceBuilds constructs (without running) a world for
+// every registered instance name — core.Instances() is what family
+// sweeps enumerate, so each entry must build cleanly, set a schedule
+// cycle, and report its canonical instance name.
+func TestEveryInstanceBuilds(t *testing.T) {
+	insts := core.Instances()
+	if len(insts) < 8 {
+		t.Fatalf("only %d registered instances: %v", len(insts), insts)
+	}
+	families := map[string]bool{}
+	for _, name := range insts {
+		if fam, _, isPreset := strings.Cut(name, "/"); isPreset {
+			families[fam] = true
+		}
+		t.Run(name, func(t *testing.T) {
+			w, err := core.Build(core.Config{
+				Deploy:       topo.Grid(7, 7, 2),
+				ProtocolName: name,
+				Msg:          bitcodec.NewMessage(0b101, 3),
+				SourceID:     -1,
+				T:            1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w.DriverName != name {
+				t.Fatalf("DriverName = %q", w.DriverName)
+			}
+			if w.Cycle.Rounds() == 0 {
+				t.Fatalf("%s: no schedule cycle", name)
+			}
+		})
+	}
+	if len(families) < 3 {
+		t.Fatalf("only %d families expose presets: %v", len(families), families)
+	}
+}
+
+// TestInstancePresetsMatchDedicatedFields pins the family presets to
+// the dedicated-Config-field builds they alias: an instance is a name
+// for a parameterisation, not a different protocol, so the runs must
+// agree bit-for-bit.
+func TestInstancePresetsMatchDedicatedFields(t *testing.T) {
+	run := func(mutate func(*core.Config)) core.Result {
+		cfg := core.Config{
+			Deploy:   topo.Grid(7, 7, 2),
+			Msg:      bitcodec.NewMessage(0b101, 3),
+			SourceID: -1,
+			Seed:     11,
+		}
+		mutate(&cfg)
+		w, err := core.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Run(3_000_000)
+	}
+	cases := []struct {
+		name     string
+		instance func(*core.Config)
+		field    func(*core.Config)
+	}{
+		{"MultiPathRB/t1 == T:1", func(c *core.Config) {
+			c.ProtocolName = "MultiPathRB/t1"
+			c.T = 99 // preset must win over the dedicated field
+		}, func(c *core.Config) {
+			c.ProtocolName = "MultiPathRB"
+			c.T = 1
+		}},
+		{"Epidemic/r2 == EpidemicRepeats:2", func(c *core.Config) {
+			c.ProtocolName = "Epidemic/r2"
+		}, func(c *core.Config) {
+			c.ProtocolName = "Epidemic"
+			c.EpidemicRepeats = 2
+		}},
+		{"NeighborWatchRB votes:2 == 2vote", func(c *core.Config) {
+			c.ProtocolName = "NeighborWatchRB"
+			c.Params = core.Params{nwatch.ParamVotes: 2}
+		}, func(c *core.Config) {
+			c.ProtocolName = "NeighborWatchRB-2vote"
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := run(tc.instance), run(tc.field)
+			if a != b {
+				t.Fatalf("instance and dedicated-field builds diverged:\n%+v\n%+v", a, b)
 			}
 		})
 	}
@@ -148,7 +242,7 @@ func TestRegistryMatchesPR2Output(t *testing.T) {
 // bag: a degenerate (fanout 1, prob 1) configuration transmits exactly
 // once per adopter, like the deterministic baseline.
 func TestGossipParams(t *testing.T) {
-	build := func(params map[string]float64) core.Result {
+	build := func(params core.Params) core.Result {
 		w, err := core.Build(core.Config{
 			Deploy:       topo.Grid(7, 7, 2),
 			ProtocolName: "gossip",
@@ -162,7 +256,7 @@ func TestGossipParams(t *testing.T) {
 		}
 		return w.Run(3_000_000)
 	}
-	degenerate := build(map[string]float64{gossip.ParamFanout: 1, gossip.ParamProb: 1})
+	degenerate := build(core.Params{gossip.ParamFanout: 1, gossip.ParamProb: 1.0})
 	if !degenerate.AllComplete {
 		t.Fatal("degenerate gossip incomplete")
 	}
@@ -186,14 +280,19 @@ func TestGossipParams(t *testing.T) {
 	}
 }
 
-// TestGossipBadParamsError checks out-of-range Params surface as Build
-// errors, not panics: Params is caller input.
+// TestGossipBadParamsError checks out-of-range and wrongly-typed
+// Params surface as Build errors, not panics or silent defaults:
+// Params is caller input.
 func TestGossipBadParamsError(t *testing.T) {
-	for name, params := range map[string]map[string]float64{
+	for name, params := range map[string]core.Params{
 		"sub-one-fanout":    {gossip.ParamFanout: 0.5},
 		"fractional-fanout": {gossip.ParamFanout: 2.5}, // must not truncate to 2
-		"zero-prob":         {gossip.ParamProb: 0},
+		"zero-fanout":       {gossip.ParamFanout: 0},
+		"bool-fanout":       {gossip.ParamFanout: true}, // wrong type, not a count
+		"string-fanout":     {gossip.ParamFanout: "3"},  // no string coercion
+		"zero-prob":         {gossip.ParamProb: 0.0},
 		"prob>1":            {gossip.ParamProb: 1.5},
+		"bool-prob":         {gossip.ParamProb: false},
 	} {
 		t.Run(name, func(t *testing.T) {
 			_, err := core.Build(core.Config{

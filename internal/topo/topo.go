@@ -7,7 +7,9 @@ package topo
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync"
 
 	"authradio/internal/geom"
 	"authradio/internal/xrand"
@@ -26,6 +28,9 @@ type Deployment struct {
 	Metric geom.Metric
 
 	index *geom.Index
+
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // Validate checks structural invariants and returns a descriptive error
@@ -66,6 +71,31 @@ func (d *Deployment) Index() *geom.Index {
 		d.index = geom.NewIndex(d.Pos, cell)
 	}
 	return d.index
+}
+
+// Fingerprint returns a 64-bit content hash of everything that
+// determines the deployment's geometry: device count and positions,
+// range, metric, and area. Two deployments with equal content hash
+// equal, so caches keyed on the fingerprint (the schedule cache in
+// internal/core) treat equal-but-distinct deployment objects as one.
+// The hash is memoized; like Index, the deployment must not be mutated
+// after the first call. Safe for concurrent use.
+func (d *Deployment) Fingerprint() uint64 {
+	d.fpOnce.Do(func() {
+		words := make([]uint64, 0, 2*len(d.Pos)+8)
+		words = append(words,
+			uint64(len(d.Pos)),
+			math.Float64bits(d.R),
+			uint64(d.Metric),
+			math.Float64bits(d.Area.MinX), math.Float64bits(d.Area.MinY),
+			math.Float64bits(d.Area.MaxX), math.Float64bits(d.Area.MaxY),
+		)
+		for _, p := range d.Pos {
+			words = append(words, math.Float64bits(p.X), math.Float64bits(p.Y))
+		}
+		d.fp = xrand.Hash64(words...)
+	})
+	return d.fp
 }
 
 // Neighbors appends to dst the ids of all devices within range R of

@@ -256,3 +256,58 @@ func BenchmarkNeighborTableBuild4096(b *testing.B) {
 		_ = d.NeighborTable()
 	}
 }
+
+// TestFingerprintContentIdentity checks the deployment fingerprint is
+// a pure function of geometry: equal-but-distinct deployments agree,
+// and every geometric ingredient (positions, count, range, metric,
+// area) moves it.
+func TestFingerprintContentIdentity(t *testing.T) {
+	base := func() *Deployment { return Uniform(40, 12, 3, xrand.New(7)) }
+	a, b := base(), base()
+	if a == b {
+		t.Fatal("test needs distinct objects")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal deployments fingerprint differently")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint not stable")
+	}
+
+	differs := func(name string, d *Deployment) {
+		t.Helper()
+		if d.Fingerprint() == a.Fingerprint() {
+			t.Errorf("%s: fingerprint collision with base", name)
+		}
+	}
+	differs("different seed", Uniform(40, 12, 3, xrand.New(8)))
+	differs("different count", Uniform(41, 12, 3, xrand.New(7)))
+	r := base()
+	r.R = 4
+	differs("different range", r)
+	m := base()
+	m.Metric = geom.LInf
+	differs("different metric", m)
+	ar := base()
+	ar.Area.MaxX++
+	differs("different area", ar)
+	p := base()
+	p.Pos[13].X += 1e-9
+	differs("perturbed position", p)
+}
+
+// TestFingerprintConcurrent hammers the lazy memoization from many
+// goroutines; all observers must agree (the memo is a sync.Once).
+func TestFingerprintConcurrent(t *testing.T) {
+	d := Uniform(200, 12, 3, xrand.New(3))
+	want := Uniform(200, 12, 3, xrand.New(3)).Fingerprint()
+	got := make(chan uint64, 16)
+	for i := 0; i < 16; i++ {
+		go func() { got <- d.Fingerprint() }()
+	}
+	for i := 0; i < 16; i++ {
+		if fp := <-got; fp != want {
+			t.Fatalf("concurrent fingerprint %#x, want %#x", fp, want)
+		}
+	}
+}
