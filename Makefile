@@ -1,0 +1,23 @@
+# Convenience targets; everything here is plain go tool invocations.
+
+.PHONY: test race golden fuzz
+
+test:
+	go build ./... && go test ./...
+
+race:
+	go test -race ./internal/sim/... ./internal/experiment/... ./internal/adversary/...
+
+# Regenerate the checked-in golden JSON documents after a change that
+# intentionally moves the numbers (a new family instance, a new ladder
+# rung, an engine change allowed to reorder randomness). CI and the
+# cmd/rbexp tests diff rbexp's output against these bytes.
+golden:
+	go run ./cmd/rbexp -exp families -json -q -seed 1 > cmd/rbexp/testdata/families_golden.json
+	go run ./cmd/rbexp -exp matrix -json -q -seed 1 > cmd/rbexp/testdata/matrix_golden.json
+
+# Short local fuzz pass over the -param parser and the typed getters
+# (CI replays the checked-in corpus under testdata/fuzz on every run).
+fuzz:
+	go test ./internal/core/ -fuzz FuzzParseParam -fuzztime 30s -run '^$$'
+	go test ./internal/core/ -fuzz FuzzParamsGetters -fuzztime 30s -run '^$$'

@@ -11,12 +11,18 @@
 // index), plus dense, a performance diagnostic comparing the spatially
 // indexed channel resolution against the legacy linear scan on both
 // built-in media (Friis over uniform deployments, disk over L-infinity
-// grids), and families, the protocol-family sweep enumerating every
-// registered driver instance (core.Instances()) on one shared grid.
+// grids), families, the protocol-family sweep enumerating every
+// registered driver instance (core.Instances()) on one shared grid,
+// and matrix, the adversary-ladder matrix crossing every instance with
+// a ladder of adversary mixes (liar fractions, per-jammer budgets,
+// spoofers).
 //
-// -json emits each experiment's tables as one machine-readable JSON
-// document instead of aligned text; with a fixed seed the document is
-// byte-identical across runs, which is what the CI golden check diffs.
+// -param name=value overlays a typed driver knob on every cell
+// (repeatable; bool/int/float/string inferred — family presets still
+// pin their own knobs). -json emits each experiment's tables as one
+// machine-readable JSON document instead of aligned text; with a fixed
+// seed the document is byte-identical across runs, which is what the
+// CI golden checks diff.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"fmt"
 	"os"
 
+	"authradio/internal/core"
 	"authradio/internal/experiment"
 
 	_ "authradio/internal/protocols"
@@ -40,6 +47,8 @@ func main() {
 		jsonOut = flag.Bool("json", false, "emit one JSON document per experiment (stable for a fixed seed)")
 		quiet   = flag.Bool("q", false, "suppress per-cell progress")
 	)
+	var params core.ParamFlag
+	flag.Var(&params, "param", "typed driver knob name=value overlaid on every cell (repeatable)")
 	flag.Parse()
 
 	opt := experiment.Options{
@@ -47,6 +56,7 @@ func main() {
 		Seed:    *seed,
 		Reps:    *reps,
 		Workers: *workers,
+		Params:  params.Params,
 	}
 	if !*quiet {
 		opt.Progress = os.Stderr

@@ -20,19 +20,32 @@ import (
 // instance, a retuned preset, an engine change that is allowed to
 // reorder randomness).
 func TestFamiliesGoldenJSON(t *testing.T) {
+	checkGolden(t, "families", experiment.Families, "testdata/families_golden.json")
+}
+
+// TestMatrixGoldenJSON pins `rbexp -exp matrix -json -seed 1` the same
+// way: the adversary ladder, the instance × mix row order, and the
+// four metric computations cannot drift silently. Regenerate with
+// `make golden` (or the go run lines in the Makefile / CI workflow).
+func TestMatrixGoldenJSON(t *testing.T) {
+	checkGolden(t, "matrix", experiment.Matrix, "testdata/matrix_golden.json")
+}
+
+func checkGolden(t *testing.T, name string, run experiment.Runner, path string) {
+	t.Helper()
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	want, err := os.ReadFile("testdata/families_golden.json")
+	want, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var got bytes.Buffer
 	opt := experiment.Options{Seed: 1}
-	if err := experiment.WriteJSON(&got, "families", opt, experiment.Families(opt)); err != nil {
+	if err := experiment.WriteJSON(&got, name, opt, run(opt)); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got.Bytes(), want) {
-		t.Fatalf("families JSON drifted from testdata/families_golden.json:\ngot:\n%s\nwant:\n%s", got.Bytes(), want)
+		t.Fatalf("%s JSON drifted from %s:\ngot:\n%s\nwant:\n%s", name, path, got.Bytes(), want)
 	}
 }

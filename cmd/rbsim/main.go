@@ -4,7 +4,10 @@
 //
 // Protocols are addressed by driver registry name or alias; `rbsim
 // -proto list` enumerates everything registered, including protocols
-// wired in outside core (e.g. GossipRB).
+// wired in outside core (e.g. GossipRB). Driver knobs are drivable
+// without a rebuild through repeated `-param name=value` flags, typed
+// into the core.Params bag (bool/int/float/string inferred; malformed
+// input is rejected at flag parse, wrongly-typed knobs at Build).
 //
 // Examples:
 //
@@ -12,6 +15,8 @@
 //	rbsim -proto nw -nodes 600 -side 20 -range 4 -liars 0.05
 //	rbsim -proto mp -t 3 -grid 9 -range 2 -msg 0b1011 -msglen 4
 //	rbsim -proto gossip -nodes 500 -side 20 -range 3
+//	rbsim -proto gossip -param gossip.fanout=5 -param gossip.prob=0.9
+//	rbsim -proto nw -grid 9 -range 2 -spoofers 0.1 -spoofbudget 16
 package main
 
 import (
@@ -50,13 +55,17 @@ func main() {
 		liars    = flag.Float64("liars", 0, "fraction of lying devices")
 		jammers  = flag.Float64("jammers", 0, "fraction of jamming devices")
 		crash    = flag.Float64("crash", 0, "fraction of crashed devices")
+		spoofers = flag.Float64("spoofers", 0, "fraction of spoofing devices (garbage data frames in random rounds)")
 		budget   = flag.Int("budget", 0, "per-jammer broadcast budget (0 = unlimited)")
+		spBudget = flag.Int("spoofbudget", 0, "per-spoofer broadcast budget (0 = unlimited)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		rep      = flag.Int("rep", 0, "repetition index (varies deployment/roles)")
 		maxR     = flag.Uint64("maxrounds", defaultMaxRounds, "round cap")
 		stats    = flag.Bool("stats", false, "print channel statistics (tx by kind, utilisation)")
 		traceN   = flag.Int("trace", 0, "log the first N transmissions to stderr")
 	)
+	var params core.ParamFlag
+	flag.Var(&params, "param", "typed driver knob name=value (repeatable; bool/int/float/string inferred, e.g. -param gossip.fanout=3)")
 	flag.Parse()
 
 	if strings.EqualFold(*proto, "list") {
@@ -85,12 +94,17 @@ func main() {
 		MsgBits:      bits,
 		MsgLen:       *msgLen,
 		T:            *t,
-		LiarFrac:     *liars,
-		JamFrac:      *jammers,
-		CrashFrac:    *crash,
-		JamBudget:    *budget,
-		Seed:         *seed,
-		MaxRounds:    *maxR,
+		AdversaryMix: experiment.AdversaryMix{
+			LiarFrac:    *liars,
+			JamFrac:     *jammers,
+			CrashFrac:   *crash,
+			SpoofFrac:   *spoofers,
+			JamBudget:   *budget,
+			SpoofBudget: *spBudget,
+		},
+		Params:    params.Params,
+		Seed:      *seed,
+		MaxRounds: *maxR,
 	}
 	if *grid > 0 {
 		s.Deploy = experiment.GridDeploy

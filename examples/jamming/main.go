@@ -28,15 +28,17 @@ func main() {
 	var xs, ys []float64
 	for _, budget := range []int{0, 4, 8, 16, 32} {
 		s := experiment.Scenario{
-			Name:      "jam",
-			Protocol:  core.NeighborWatchRB,
-			Deploy:    experiment.Uniform,
-			Nodes:     180,
-			MapSide:   12,
-			Range:     3,
-			MsgLen:    4,
-			JamFrac:   0.10,
-			JamBudget: budget,
+			Name:     "jam",
+			Protocol: core.NeighborWatchRB,
+			Deploy:   experiment.Uniform,
+			Nodes:    180,
+			MapSide:  12,
+			Range:    3,
+			MsgLen:   4,
+			AdversaryMix: experiment.AdversaryMix{
+				JamFrac:   0.10,
+				JamBudget: budget,
+			},
 			Seed:      3,
 			MaxRounds: 5_000_000,
 		}

@@ -28,14 +28,16 @@ func main() {
 		row := []interface{}{100 * frac}
 		for _, p := range protocols {
 			s := experiment.Scenario{
-				Name:      "lying",
-				Protocol:  p,
-				Deploy:    experiment.Uniform,
-				Nodes:     200,
-				MapSide:   12,
-				Range:     4,
-				MsgLen:    4,
-				LiarFrac:  frac,
+				Name:     "lying",
+				Protocol: p,
+				Deploy:   experiment.Uniform,
+				Nodes:    200,
+				MapSide:  12,
+				Range:    4,
+				MsgLen:   4,
+				AdversaryMix: experiment.AdversaryMix{
+					LiarFrac: frac,
+				},
 				Seed:      7,
 				MaxRounds: 400_000,
 			}

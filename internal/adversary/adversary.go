@@ -22,6 +22,12 @@ import (
 // DefaultJamProb is the paper's per-veto-round jamming probability.
 const DefaultJamProb = 0.2
 
+// DefaultSpoofProb is the default per-round broadcast probability of a
+// Spoofer. Spoofers target every round (not just the two veto rounds),
+// so the same 1/5 rate as the jammers spreads a budget over the data
+// and ack rounds it attacks.
+const DefaultSpoofProb = 0.2
+
 // Jammer is a Byzantine device that spends a bounded broadcast budget
 // jamming the veto rounds of a slot schedule. Once the budget is
 // exhausted it goes permanently silent — the model under which the
@@ -130,6 +136,9 @@ func (s *Spoofer) Pos() geom.Point { return s.pos }
 
 // Deliver implements sim.Device.
 func (s *Spoofer) Deliver(uint64, radio.Obs) {}
+
+// Spent returns whether the broadcast budget is exhausted.
+func (s *Spoofer) Spent() bool { return s.Budget <= 0 }
 
 // Wake implements sim.Device.
 func (s *Spoofer) Wake(r uint64) sim.Step {

@@ -1,0 +1,156 @@
+package adversary
+
+import (
+	"testing"
+
+	"authradio/internal/geom"
+	"authradio/internal/schedule"
+	"authradio/internal/sim"
+	"authradio/internal/xrand"
+)
+
+// The property tests randomize the adversary's whole configuration
+// space — cycle shapes, budgets, probabilities, veto-only vs
+// all-rounds — over many seeds and check the invariants the engine and
+// the paper's model rely on: budgets are never exceeded, veto-only
+// jammers never touch a data round, wake scheduling is monotone and
+// agrees with the targeting predicate, and an exhausted device is
+// permanently silent.
+
+// randCycle draws a random but valid slot structure: at least the two
+// veto sub-rounds per slot.
+func randCycle(rng *xrand.Rand) schedule.Cycle {
+	return schedule.Cycle{
+		NumSlots: 1 + rng.Intn(12),
+		SlotLen:  2 + rng.Intn(9),
+	}
+}
+
+// isVeto reports whether r is one of the last two sub-rounds of its
+// slot — the definition Jammer.targets must match.
+func isVeto(cyc schedule.Cycle, r uint64) bool {
+	_, _, sub := cyc.At(r)
+	return sub >= cyc.SlotLen-2
+}
+
+func TestJammerPropertyBudgetAndVetoRounds(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		rng := xrand.New(seed ^ 0xBAD5EED)
+		cyc := randCycle(rng)
+		budget := rng.Intn(30)
+		prob := [...]float64{0.0, 0.1, 0.5, 1.0}[rng.Intn(4)]
+		j := NewJammer(1, geom.Point{}, cyc, budget, prob, xrand.New(seed))
+		j.VetoOnly = rng.Bool(0.5)
+
+		tx := 0
+		for r := uint64(0); r < 4*cyc.Rounds()+100; r++ {
+			st := j.Wake(r)
+			if st.Action == sim.Transmit {
+				tx++
+				if j.VetoOnly && !isVeto(cyc, r) {
+					t.Fatalf("seed %d: veto-only jammer (cyc %+v) transmitted in non-veto round %d", seed, cyc, r)
+				}
+			}
+			if tx > budget {
+				t.Fatalf("seed %d: jammer spent %d broadcasts of budget %d", seed, tx, budget)
+			}
+			if j.Spent() {
+				break
+			}
+		}
+		// Once exhausted, the jammer is permanently and consistently
+		// silent: no transmissions, no further wake-ups.
+		if j.Spent() {
+			for r := uint64(0); r < 50; r++ {
+				st := j.Wake(1000 + r)
+				if st.Action == sim.Transmit || st.NextWake != sim.NoWake {
+					t.Fatalf("seed %d: exhausted jammer still active: %+v", seed, st)
+				}
+			}
+		}
+	}
+}
+
+func TestJammerPropertyNextTargetMonotoneAndConsistent(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		rng := xrand.New(seed ^ 0x7A46E7)
+		cyc := randCycle(rng)
+		j := NewJammer(1, geom.Point{}, cyc, 1<<30, 0, xrand.New(seed))
+		j.VetoOnly = rng.Bool(0.5)
+		for r := uint64(0); r < 3*cyc.Rounds()+50; r++ {
+			next := j.nextTarget(r)
+			if next <= r {
+				t.Fatalf("seed %d: nextTarget(%d) = %d not monotone (cyc %+v)", seed, r, next, cyc)
+			}
+			if !j.targets(next) {
+				t.Fatalf("seed %d: nextTarget(%d) = %d is not a target round (cyc %+v)", seed, r, next, cyc)
+			}
+			// next must be the FIRST target after r: every round strictly
+			// between is a non-target.
+			for q := r + 1; q < next; q++ {
+				if j.targets(q) {
+					t.Fatalf("seed %d: nextTarget(%d) = %d skipped target round %d (cyc %+v)", seed, r, next, q, cyc)
+				}
+			}
+		}
+	}
+}
+
+func TestJammerPropertyWakeChainSpendsFullBudget(t *testing.T) {
+	// Driven along its own NextWake chain with prob 1, a jammer spends
+	// exactly its budget, no matter the cycle shape.
+	for seed := uint64(0); seed < 30; seed++ {
+		rng := xrand.New(seed ^ 0xC4A1)
+		cyc := randCycle(rng)
+		budget := 1 + rng.Intn(20)
+		j := NewJammer(1, geom.Point{}, cyc, budget, 1.0, xrand.New(seed))
+
+		tx := 0
+		r := uint64(0)
+		for steps := 0; steps < 10_000; steps++ {
+			st := j.Wake(r)
+			if st.Action == sim.Transmit {
+				tx++
+			}
+			if st.NextWake == sim.NoWake {
+				break
+			}
+			r = st.NextWake
+		}
+		if tx != budget {
+			t.Fatalf("seed %d: wake chain spent %d of budget %d (cyc %+v)", seed, tx, budget, cyc)
+		}
+	}
+}
+
+func TestSpooferPropertySilentAfterExhaustion(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		rng := xrand.New(seed ^ 0x5B00F)
+		budget := rng.Intn(25)
+		prob := [...]float64{0.1, 0.5, 1.0}[rng.Intn(3)]
+		sp := NewSpoofer(3, geom.Point{}, budget, prob, xrand.New(seed))
+
+		tx := 0
+		r := uint64(0)
+		for ; r < 100_000 && !sp.Spent(); r++ {
+			st := sp.Wake(r)
+			if st.Action == sim.Transmit {
+				tx++
+			}
+		}
+		if tx > budget {
+			t.Fatalf("seed %d: spoofer spent %d of budget %d", seed, tx, budget)
+		}
+		if !sp.Spent() {
+			t.Fatalf("seed %d: spoofer (prob %v) never exhausted budget %d in %d rounds", seed, prob, budget, r)
+		}
+		// Exhaustion is permanent: silent with no further wake-ups, at
+		// any later round.
+		for i := uint64(0); i < 50; i++ {
+			st := sp.Wake(r + i*7)
+			if st.Action == sim.Transmit || st.NextWake != sim.NoWake {
+				t.Fatalf("seed %d: exhausted spoofer still active: %+v", seed, st)
+			}
+		}
+	}
+}

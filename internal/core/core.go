@@ -94,6 +94,10 @@ const (
 	// Jammer devices spend a broadcast budget jamming veto rounds
 	// (Section 6.1's jamming model).
 	Jammer
+	// Spoofer devices spend a broadcast budget injecting garbage data
+	// frames in uniformly random rounds — the data/ack-round attack the
+	// adversary package provides for robustness ladders.
+	Spoofer
 )
 
 // Config describes one simulated broadcast.
@@ -128,6 +132,11 @@ type Config struct {
 	JamBudget int
 	// JamProb is the per-veto-round jam probability (default 1/5).
 	JamProb float64
+	// SpoofBudget is each spoofer's broadcast budget; 0 means unlimited.
+	SpoofBudget int
+	// SpoofProb is the spoofers' per-round broadcast probability
+	// (default adversary.DefaultSpoofProb).
+	SpoofProb float64
 	// Medium overrides the channel model; nil selects the analytical
 	// disk medium matching the deployment's metric. A custom medium
 	// that embeds one of the built-in media and overrides only Observe
@@ -188,6 +197,7 @@ type World struct {
 	Eng        *sim.Engine
 	Nodes      map[int]Status // protocol devices (honest + liars), by id
 	Jammers    []*adversary.Jammer
+	Spoofers   []*adversary.Spoofer
 	// Cycle is the schedule cycle in force (for jammers, probing and
 	// reporting).
 	Cycle schedule.Cycle
@@ -244,6 +254,9 @@ func Build(cfg Config, opts ...Option) (*World, error) {
 	}
 	if cfg.JamProb == 0 {
 		cfg.JamProb = adversary.DefaultJamProb
+	}
+	if cfg.SpoofProb == 0 {
+		cfg.SpoofProb = adversary.DefaultSpoofProb
 	}
 	if cfg.EpidemicRepeats == 0 {
 		cfg.EpidemicRepeats = 1
@@ -316,6 +329,23 @@ func Build(cfg Config, opts ...Option) (*World, error) {
 		j.VetoOnly = b.jamVetoOnly
 		w.Jammers = append(w.Jammers, j)
 		w.Eng.Add(j, 0)
+		w.byzIDs[i] = true
+	}
+
+	// Spoofers are schedule-oblivious: they attack arbitrary rounds, so
+	// they need nothing from the cycle.
+	for i := 0; i < d.N(); i++ {
+		if role(i) != Spoofer || i == cfg.SourceID {
+			continue
+		}
+		budget := cfg.SpoofBudget
+		if budget == 0 {
+			budget = 1 << 30 // effectively unlimited
+		}
+		sp := adversary.NewSpoofer(i, d.Pos[i], budget, cfg.SpoofProb,
+			xrand.Derive(cfg.Seed, 0x5B00F, uint64(i)))
+		w.Spoofers = append(w.Spoofers, sp)
+		w.Eng.Add(sp, 0)
 		w.byzIDs[i] = true
 	}
 
@@ -412,6 +442,9 @@ func (w *World) Summarize(end uint64) Result {
 	}
 	for _, j := range w.Jammers {
 		res.ByzTx += w.Eng.TxCount(j.ID())
+	}
+	for _, sp := range w.Spoofers {
+		res.ByzTx += w.Eng.TxCount(sp.ID())
 	}
 	res.HonestTx += w.Eng.TxCount(w.Cfg.SourceID)
 	return res

@@ -319,3 +319,39 @@ func TestEpidemicJammerUsesAllRounds(t *testing.T) {
 		t.Fatal("epidemic jammer never transmitted")
 	}
 }
+
+func TestSpooferRoleBuildsAndSpendsBudget(t *testing.T) {
+	d := topo.Grid(7, 7, 2)
+	roles := make([]Role, d.N())
+	roles[1], roles[3] = Spoofer, Spoofer
+	w, err := Build(Config{
+		Deploy: d, Protocol: NeighborWatchRB, Msg: msg4(),
+		SourceID: -1, Roles: roles, SpoofBudget: 6, SpoofProb: 1, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Spoofers) != 2 {
+		t.Fatalf("built %d spoofers, want 2", len(w.Spoofers))
+	}
+	// Spoofers are not protocol participants: they must not appear as
+	// nodes, and the honest broadcast must still complete correctly.
+	for _, sp := range w.Spoofers {
+		if _, ok := w.Nodes[sp.ID()]; ok {
+			t.Fatalf("spoofer %d registered as a protocol node", sp.ID())
+		}
+	}
+	res := w.Run(2_000_000)
+	if !res.AllComplete || res.Correct != res.Complete {
+		t.Fatalf("spoofed run did not complete correctly: %+v", res)
+	}
+	// Prob 1 spoofers spend their whole budget, accounted as Byzantine.
+	if res.ByzTx != 12 {
+		t.Fatalf("byzantine tx %d, want 2 spoofers x budget 6 = 12", res.ByzTx)
+	}
+	for _, sp := range w.Spoofers {
+		if !sp.Spent() {
+			t.Fatal("spoofer finished run with budget left")
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"strconv"
+	"strings"
+)
+
+// ParseParam parses one command-line knob of the form "name=value"
+// into a Params entry. The value's type is inferred with the same
+// narrow rules the Params getters enforce: the literals "true" and
+// "false" are bool, anything strconv.ParseInt(…, 0, …) accepts
+// (decimal, 0x/0o/0b prefixes, underscores) is int, anything
+// strconv.ParseFloat accepts is float64, and everything else is a
+// string. Inference runs int before bool and float so "1" is a count,
+// not a truth value, and "3" is never 3.0 (the getters widen int to
+// float where a float is wanted, but refuse to truncate the other
+// way).
+//
+// Malformed input — no '=', an empty or whitespace-carrying name, an
+// empty value — is reported as a *ParamError, never a panic.
+func ParseParam(s string) (name string, value any, err error) {
+	name, lit, found := strings.Cut(s, "=")
+	if !found {
+		return "", nil, &ParamError{Name: s, Want: "name=value", Got: s}
+	}
+	if name == "" || strings.ContainsFunc(name, isSpace) {
+		return "", nil, &ParamError{Name: name, Want: "non-empty name without spaces", Got: s}
+	}
+	if lit == "" {
+		return "", nil, &ParamError{Name: name, Want: "non-empty value", Got: s}
+	}
+	switch lit {
+	case "true":
+		return name, true, nil
+	case "false":
+		return name, false, nil
+	}
+	if n, err := strconv.ParseInt(lit, 0, strconv.IntSize); err == nil {
+		return name, int(n), nil
+	}
+	if f, err := strconv.ParseFloat(lit, 64); err == nil {
+		if math.IsNaN(f) {
+			// A NaN knob compares unequal to itself, so it can never be
+			// range-checked or reproduced; treat it as malformed rather
+			// than letting it leak into a deterministic run.
+			return "", nil, &ParamError{Name: name, Want: "comparable value", Got: lit}
+		}
+		return name, f, nil
+	}
+	return name, lit, nil
+}
+
+func isSpace(r rune) bool {
+	switch r {
+	case ' ', '\t', '\n', '\v', '\f', '\r':
+		return true
+	}
+	return false
+}
+
+// ParamFlag is a flag.Value accumulating repeated "-param name=value"
+// arguments into a typed Params bag:
+//
+//	var params core.ParamFlag
+//	flag.Var(&params, "param", "typed driver knob name=value (repeatable)")
+//
+// Later assignments to the same name win. Family presets still pin
+// their own knobs over anything set here (preset wins at Build).
+type ParamFlag struct {
+	Params Params
+}
+
+// String implements flag.Value: the accumulated knobs as sorted
+// comma-joined name=value pairs.
+func (f *ParamFlag) String() string {
+	if f == nil || len(f.Params) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(f.Params))
+	for k, v := range f.Params {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, v))
+	}
+	slices.Sort(parts)
+	return strings.Join(parts, ",")
+}
+
+// Set implements flag.Value.
+func (f *ParamFlag) Set(s string) error {
+	name, v, err := ParseParam(s)
+	if err != nil {
+		return err
+	}
+	if f.Params == nil {
+		f.Params = make(Params)
+	}
+	f.Params[name] = v
+	return nil
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestParseParamTyping(t *testing.T) {
+	cases := []struct {
+		in   string
+		name string
+		want any
+	}{
+		{"gossip.fanout=3", "gossip.fanout", 3},
+		{"gossip.prob=0.7", "gossip.prob", 0.7},
+		{"nwatch.votes=0x10", "nwatch.votes", 16},
+		{"epidemic.repeats=0b101", "epidemic.repeats", 5},
+		{"x.flag=true", "x.flag", true},
+		{"x.flag=false", "x.flag", false},
+		{"x.mode=greedy", "x.mode", "greedy"},
+		// "1" is a count, never a truth value; "3." is a float, never
+		// truncated to a count.
+		{"x.n=1", "x.n", 1},
+		{"x.f=3.", "x.f", 3.0},
+		{"x.f=1e3", "x.f", 1000.0},
+		// Only the first '=' splits; the rest belongs to the value.
+		{"x.s=a=b", "x.s", "a=b"},
+		// "True" is not the bool literal; it stays a string.
+		{"x.s=True", "x.s", "True"},
+	}
+	for _, c := range cases {
+		name, v, err := ParseParam(c.in)
+		if err != nil {
+			t.Errorf("ParseParam(%q) error: %v", c.in, err)
+			continue
+		}
+		if name != c.name || v != c.want {
+			t.Errorf("ParseParam(%q) = (%q, %#v), want (%q, %#v)", c.in, name, v, c.name, c.want)
+		}
+	}
+}
+
+func TestParseParamMalformed(t *testing.T) {
+	for _, in := range []string{
+		"",             // no '='
+		"gossip.prob",  // no '='
+		"=3",           // empty name
+		"a b=3",        // whitespace in name
+		"\tx=1",        // whitespace in name
+		"gossip.prob=", // empty value
+	} {
+		_, _, err := ParseParam(in)
+		if err == nil {
+			t.Errorf("ParseParam(%q) accepted malformed input", in)
+			continue
+		}
+		var pe *ParamError
+		if !errors.As(err, &pe) {
+			t.Errorf("ParseParam(%q) error %T is not *ParamError", in, err)
+		}
+	}
+}
+
+func TestParamFlagAccumulates(t *testing.T) {
+	var f ParamFlag
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(&strings.Builder{})
+	fs.Var(&f, "param", "")
+	if err := fs.Parse([]string{"-param", "a.x=1", "-param", "a.y=0.5", "-param", "a.x=2"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Params["a.x"]; got != 2 {
+		t.Errorf("last assignment should win: a.x = %#v", got)
+	}
+	if got := f.Params["a.y"]; got != 0.5 {
+		t.Errorf("a.y = %#v", got)
+	}
+	if s := f.String(); s != "a.x=2,a.y=0.5" {
+		t.Errorf("String() = %q", s)
+	}
+	if err := fs.Parse([]string{"-param", "broken"}); err == nil {
+		t.Error("malformed -param accepted by the flag set")
+	}
+	var empty ParamFlag
+	if empty.String() != "" {
+		t.Error("empty ParamFlag String() not empty")
+	}
+}
+
+// TestParseParamRoundTripsThroughGetters pins the contract between the
+// parser's type inference and the Params getters: whatever ParseParam
+// produces is retrievable through the getter of the inferred type.
+func TestParseParamRoundTripsThroughGetters(t *testing.T) {
+	p := make(Params)
+	for _, in := range []string{"a=3", "b=0.25", "c=true", "d=hi"} {
+		name, v, err := ParseParam(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p[name] = v
+	}
+	if n, err := p.Int("a"); err != nil || n != 3 {
+		t.Errorf("Int(a) = %d, %v", n, err)
+	}
+	if f, err := p.Float("a"); err != nil || f != 3 {
+		t.Errorf("Float(a) widening = %v, %v", f, err)
+	}
+	if f, err := p.Float("b"); err != nil || f != 0.25 {
+		t.Errorf("Float(b) = %v, %v", f, err)
+	}
+	if b, err := p.Bool("c"); err != nil || !b {
+		t.Errorf("Bool(c) = %v, %v", b, err)
+	}
+	if s, err := p.String("d"); err != nil || s != "hi" {
+		t.Errorf("String(d) = %q, %v", s, err)
+	}
+}
+
+// FuzzParseParam drives the command-line knob parser with arbitrary
+// input: it must never panic, every rejection must be a *ParamError,
+// and every acceptance must produce a well-formed name and a value of
+// one of the four Params types that survives a Set/getter round trip.
+func FuzzParseParam(f *testing.F) {
+	for _, seed := range []string{
+		"gossip.fanout=3", "gossip.prob=0.7", "x=true", "x=false",
+		"x=0x10", "x=0b101", "x=1e9", "x=a=b", "x=", "=x", "novalue",
+		"", "a b=1", "x=NaN", "x=-7", "x=+3.5", "x=9223372036854775808",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		name, v, err := ParseParam(s)
+		if err != nil {
+			var pe *ParamError
+			if !errors.As(err, &pe) {
+				t.Fatalf("ParseParam(%q) error %T is not *ParamError", s, err)
+			}
+			return
+		}
+		if name == "" || strings.ContainsFunc(name, isSpace) {
+			t.Fatalf("ParseParam(%q) accepted bad name %q", s, name)
+		}
+		switch v.(type) {
+		case bool, int, float64, string:
+		default:
+			t.Fatalf("ParseParam(%q) produced value of type %T", s, v)
+		}
+		// The accepted pair must survive the ParamFlag path and come
+		// back out of the typed bag through some getter.
+		var pf ParamFlag
+		if err := pf.Set(s); err != nil {
+			t.Fatalf("ParseParam accepted %q but ParamFlag.Set rejected it: %v", s, err)
+		}
+		if got, ok := pf.Params[name]; !ok || got != v {
+			t.Fatalf("ParamFlag.Set(%q) stored %#v, ParseParam produced %#v", s, got, v)
+		}
+	})
+}
+
+// FuzzParamsGetters drives the typed getters with arbitrary keys and
+// values: no input may panic, and every failure must be a *ParamError
+// carrying the requested knob name.
+func FuzzParamsGetters(f *testing.F) {
+	f.Add("gossip.fanout", "k", int64(3), 0.5, true, "s", uint8(0))
+	f.Add("", "", int64(-1), -0.0, false, "", uint8(1))
+	f.Add("a", "a", int64(1<<40), 2.5, true, "true", uint8(2))
+	f.Add("x", "y", int64(0), 1e308, false, "0", uint8(3))
+	f.Fuzz(func(t *testing.T, key, probe string, iv int64, fv float64, bv bool, sv string, pick uint8) {
+		var val any
+		switch pick % 4 {
+		case 0:
+			val = int(iv)
+		case 1:
+			val = fv
+		case 2:
+			val = bv
+		case 3:
+			val = sv
+		}
+		p := Params{key: val}
+		checkErr := func(got any, err error) {
+			if err == nil {
+				return
+			}
+			var pe *ParamError
+			if !errors.As(err, &pe) {
+				t.Fatalf("getter error %T is not *ParamError (key %q, val %#v)", err, key, val)
+			}
+			if pe.Name != probe {
+				t.Fatalf("ParamError names %q, getter asked for %q", pe.Name, probe)
+			}
+			_ = got
+		}
+		checkErr(p.Float(probe))
+		checkErr(p.Int(probe))
+		checkErr(p.Bool(probe))
+		checkErr(p.String(probe))
+		checkErr(p.FloatOr(probe, 1))
+		checkErr(p.IntOr(probe, 1))
+		checkErr(p.BoolOr(probe, true))
+		checkErr(p.StringOr(probe, "d"))
+		if s := (&ParamFlag{Params: p}).String(); key != "" && s == "" {
+			t.Fatalf("non-empty bag rendered empty: %#v", p)
+		}
+	})
+}

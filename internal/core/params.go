@@ -168,12 +168,14 @@ func asString(name string, v any) (string, error) {
 	return "", &ParamError{Name: name, Want: "string", Got: v}
 }
 
-// merge returns p overlaid with over (over wins), leaving both inputs
+// Merge returns p overlaid with over (over wins), leaving both inputs
 // untouched. Whenever over is non-empty the result is a fresh map:
-// over is a family preset's registered bag, and handing it out by
+// over may be a family preset's registered bag, and handing it out by
 // reference would let a caller mutating World.Cfg.Params corrupt the
-// registered preset for every later build.
-func (p Params) merge(over Params) Params {
+// registered preset for every later build. Callers layering
+// command-line knobs over scenario defaults use the same direction:
+// base.Merge(cli).
+func (p Params) Merge(over Params) Params {
 	if len(over) == 0 {
 		return p
 	}

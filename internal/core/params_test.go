@@ -127,7 +127,7 @@ func TestParamsTypeErrors(t *testing.T) {
 func TestParamsMerge(t *testing.T) {
 	base := Params{"a": 1, "b": 2}
 	over := Params{"b": 20, "c": 30}
-	m := base.merge(over)
+	m := base.Merge(over)
 	if v, _ := m.Int("a"); v != 1 {
 		t.Error("merge lost a base key")
 	}
@@ -140,13 +140,13 @@ func TestParamsMerge(t *testing.T) {
 	if v, _ := base.Int("b"); v != 2 {
 		t.Error("merge mutated the base bag")
 	}
-	if got := base.merge(nil); len(got) != 2 {
+	if got := base.Merge(nil); len(got) != 2 {
 		t.Error("empty overlay should return base")
 	}
 	// A non-empty overlay is never returned by reference: the overlay
 	// is a registered preset's bag, and aliasing it would let callers
 	// mutating World.Cfg.Params corrupt the preset process-wide.
-	got := Params(nil).merge(over)
+	got := Params(nil).Merge(over)
 	if len(got) != 2 {
 		t.Error("empty base should produce the overlay's content")
 	}

@@ -191,4 +191,4 @@ func (d instanceDriver) Build(cfg Config, b *WorldBuilder) error {
 
 // mergedParams overlays the preset's knobs over the caller's (preset
 // wins); the result never aliases the registered preset's map.
-func (d instanceDriver) mergedParams(p Params) Params { return p.merge(d.inst.Params) }
+func (d instanceDriver) mergedParams(p Params) Params { return p.Merge(d.inst.Params) }

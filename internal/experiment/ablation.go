@@ -52,9 +52,7 @@ func Ablation(o Options) []Table {
 			MapSide:      mapSide,
 			Range:        r,
 			MsgLen:       4,
-			JamFrac:      0.10,
-			JamBudget:    16,
-			JamProb:      p,
+			AdversaryMix: AdversaryMix{JamFrac: 0.10, JamBudget: 16, JamProb: p},
 			Seed:         seed,
 			MaxRounds:    10_000_000,
 		}

@@ -59,11 +59,11 @@ type Scenario struct {
 	MPHeardCap int     // MultiPathRB HEARD relay cap override (0 = default)
 	SquareSide float64 // NeighborWatchRB square side (0 = default)
 
-	LiarFrac  float64
-	CrashFrac float64
-	JamFrac   float64
-	JamBudget int
-	JamProb   float64
+	// AdversaryMix is the cell's adversary dimension; its fields
+	// (LiarFrac, JamBudget, …) promote onto the scenario. Matrix sweeps
+	// assign whole mixes; single-figure experiments set the promoted
+	// fields directly.
+	AdversaryMix
 
 	EpidemicRepeats int
 
@@ -141,7 +141,7 @@ func (s Scenario) deployment(rep int) *topo.Deployment {
 // roles samples the adversary assignment for one repetition, keeping
 // the source honest.
 func (s Scenario) roles(d *topo.Deployment, src, rep int) []core.Role {
-	if s.LiarFrac == 0 && s.CrashFrac == 0 && s.JamFrac == 0 {
+	if s.AdversaryMix.IsZero() {
 		return nil
 	}
 	rng := xrand.Derive(s.Seed, 0x401E5, uint64(rep))
@@ -168,6 +168,9 @@ func (s Scenario) roles(d *topo.Deployment, src, rep int) []core.Role {
 	assign(s.LiarFrac, core.Liar)
 	assign(s.JamFrac, core.Jammer)
 	assign(s.CrashFrac, core.Crashed)
+	// Spoofers draw after the original three so mixes without them
+	// reproduce the historical role streams bit-for-bit.
+	assign(s.SpoofFrac, core.Spoofer)
 	return roles
 }
 
@@ -219,6 +222,8 @@ func (s Scenario) BuildWorld(rep int, opts ...core.Option) (*core.World, error) 
 		SquareSide:      s.SquareSide,
 		JamBudget:       s.JamBudget,
 		JamProb:         s.JamProb,
+		SpoofBudget:     s.SpoofBudget,
+		SpoofProb:       s.SpoofProb,
 		EpidemicRepeats: s.EpidemicRepeats,
 		Params:          s.Params,
 		Seed:            xrand.Hash64(s.Seed, uint64(rep)),

@@ -63,6 +63,7 @@ func TestRolesFractions(t *testing.T) {
 	s.LiarFrac = 0.10
 	s.JamFrac = 0.05
 	s.CrashFrac = 0.20
+	s.SpoofFrac = 0.05
 	d := s.deployment(0)
 	src := d.CenterNode()
 	roles := s.roles(d, src, 0)
@@ -83,6 +84,7 @@ func TestRolesFractions(t *testing.T) {
 	expect(core.Liar, 0.10)
 	expect(core.Jammer, 0.05)
 	expect(core.Crashed, 0.20)
+	expect(core.Spoofer, 0.05)
 
 	// Zero fractions produce a nil role slice (all honest).
 	s2 := tiny()

@@ -39,6 +39,17 @@ func familyOf(instance string) string {
 	return fam
 }
 
+// paperMetrics renders one aggregated cell's four paper measurements
+// in sweep-table order — latency, delivery %, spurious %, energy —
+// shared by the families and matrix sweeps so the two tables can
+// never drift apart in formula or format.
+func paperMetrics(agg Agg) (latency, delivery, spurious, energy string) {
+	return fmt.Sprintf("%.0f", agg.LastCompletion.Mean),
+		fmt.Sprintf("%.1f", agg.CompletionPct.Mean),
+		fmt.Sprintf("%.1f", 100-agg.CorrectPct.Mean),
+		fmt.Sprintf("%.0f", agg.HonestTx.Mean)
+}
+
 // Families is the protocol-family sweep: it enumerates every
 // registered instance (core.Instances() — plain drivers plus each
 // family preset) over one shared scenario grid with 10% lying devices,
@@ -55,32 +66,28 @@ func Families(o Options) []Table {
 		gridW = 13
 	}
 	reps := o.reps(2, 5)
-	const liarFrac = 0.10
 
 	base := Scenario{
-		Name:     "families",
-		Deploy:   GridDeploy,
-		GridW:    gridW,
-		Range:    2,
-		MsgLen:   4,
-		LiarFrac: liarFrac,
-		Seed:     o.seed(),
+		Name:         "families",
+		Deploy:       GridDeploy,
+		GridW:        gridW,
+		Range:        2,
+		MsgLen:       4,
+		AdversaryMix: FamiliesMix,
+		Seed:         o.seed(),
 	}
 	instances := core.Instances()
 	tbl := Table{
 		Title: "Protocol families — the four paper metrics per registered instance",
 		Note: fmt.Sprintf("%dx%d analytical grid, R=2, 4-bit message, %.0f%% liars, %d reps; every core.Instances() entry: latency = mean last completion round, delivery = %% honest complete, spurious = %% of completed accepting a wrong message, energy = mean honest broadcasts",
-			gridW, gridW, 100*liarFrac, reps),
+			gridW, gridW, 100*FamiliesMix.LiarFrac, reps),
 		Header: []string{"instance", "family", "latency", "delivery %", "spurious %", "energy (tx)"},
 	}
 	for _, s := range SweepInstances(base, instances) {
 		s.MaxRounds = maxRoundsFor(familyOf(s.ProtocolName), o.Full)
 		_, agg := cell(s, o, reps)
-		tbl.Add(s.ProtocolName, familyOf(s.ProtocolName),
-			fmt.Sprintf("%.0f", agg.LastCompletion.Mean),
-			fmt.Sprintf("%.1f", agg.CompletionPct.Mean),
-			fmt.Sprintf("%.1f", 100-agg.CorrectPct.Mean),
-			fmt.Sprintf("%.0f", agg.HonestTx.Mean))
+		lat, del, spur, en := paperMetrics(agg)
+		tbl.Add(s.ProtocolName, familyOf(s.ProtocolName), lat, del, spur, en)
 	}
 	return []Table{tbl}
 }

@@ -8,8 +8,11 @@ import (
 )
 
 // cell runs a scenario for the configured repetitions and returns both
-// raw results and their aggregate.
+// raw results and their aggregate. Command-line knobs (Options.Params)
+// overlay the scenario's own bag here, so every named experiment is
+// -param-drivable without per-runner wiring.
 func cell(s Scenario, o Options, reps int) ([]core.Result, Agg) {
+	s.Params = s.Params.Merge(o.Params)
 	rs := Repeat(s, reps, o.Workers)
 	agg := Aggregate(rs)
 	o.progress("  %-28s completion %.1f%%  correct %.1f%%  rounds %.0f",
@@ -139,8 +142,7 @@ func Jamming(o Options) []Table {
 			MapSide:      p.mapSide,
 			Range:        p.r,
 			MsgLen:       4,
-			JamFrac:      0.10,
-			JamBudget:    b,
+			AdversaryMix: AdversaryMix{JamFrac: 0.10, JamBudget: b},
 			Seed:         o.seed(),
 			MaxRounds:    10_000_000,
 		}
@@ -209,7 +211,7 @@ func Fig6Lying(o Options) []Table {
 				Range:        p.r,
 				MsgLen:       4,
 				T:            v.t,
-				LiarFrac:     frac,
+				AdversaryMix: AdversaryMix{LiarFrac: frac},
 				Seed:         o.seed(),
 				MaxRounds:    maxR,
 			}
@@ -276,7 +278,7 @@ func Fig7Density(o Options) []Table {
 					Range:        p.r,
 					MsgLen:       4,
 					T:            v.t,
-					LiarFrac:     frac,
+					AdversaryMix: AdversaryMix{LiarFrac: frac},
 					Seed:         o.seed(),
 					MaxRounds:    maxRoundsFor(v.proto, o.Full),
 				}

@@ -45,7 +45,7 @@ func ClusteredDeployment(o Options) []Table {
 				Clusters:     p.clusters,
 				Sigma:        p.sigma,
 				MsgLen:       4,
-				LiarFrac:     frac,
+				AdversaryMix: AdversaryMix{LiarFrac: frac},
 				Seed:         o.seed(),
 				MaxRounds:    600_000,
 			}
@@ -215,8 +215,7 @@ func TheoryScaling(o Options) []Table {
 			GridW:        gridW,
 			Range:        2,
 			MsgLen:       4,
-			JamFrac:      0.05,
-			JamBudget:    b,
+			AdversaryMix: AdversaryMix{JamFrac: 0.05, JamBudget: b},
 			Seed:         o.seed(),
 			MaxRounds:    10_000_000,
 		}

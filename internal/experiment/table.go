@@ -6,6 +6,8 @@ import (
 	"io"
 	"strings"
 	"unicode/utf8"
+
+	"authradio/internal/core"
 )
 
 // Table is a rendered experiment result: the rows the paper's figure or
@@ -138,6 +140,11 @@ type Options struct {
 	Reps int
 	// Workers bounds run-level parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Params carries command-line driver knobs (rbexp -param): they
+	// overlay every cell's own Params (command line wins over the
+	// scenario's defaults; family presets still pin their knobs over
+	// both). nil leaves every cell untouched.
+	Params core.Params
 	// Progress, if non-nil, receives one line per completed cell.
 	Progress io.Writer
 }
@@ -184,10 +191,11 @@ func Registry() map[string]Runner {
 		"ablation":  Ablation,
 		"dense":     Dense,
 		"families":  Families,
+		"matrix":    Matrix,
 	}
 }
 
 // Names returns the registry keys in a stable order.
 func Names() []string {
-	return []string{"fig5", "jamming", "fig6", "fig7", "clustered", "mapsize", "epidemic", "theory", "dualmode", "ablation", "dense", "families"}
+	return []string{"fig5", "jamming", "fig6", "fig7", "clustered", "mapsize", "epidemic", "theory", "dualmode", "ablation", "dense", "families", "matrix"}
 }

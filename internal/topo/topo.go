@@ -31,6 +31,9 @@ type Deployment struct {
 
 	fpOnce sync.Once
 	fp     uint64
+
+	centerOnce sync.Once
+	center     int
 }
 
 // Validate checks structural invariants and returns a descriptive error
@@ -203,16 +206,24 @@ func Clustered(n, numClusters int, side, sigma, r float64, rng *xrand.Rand) *Dep
 
 // CenterNode returns the id of the device closest to the center of the
 // map; the paper's experiments start every broadcast from "a single
-// honest source node, located at the center of the network".
+// honest source node, located at the center of the network". The
+// result is memoized: matrix-style sweeps build every world of a D×P
+// grid against one cached deployment, so the linear scan runs once per
+// deployment instead of once per world. Like Index and Fingerprint,
+// the deployment must not be mutated after the first call; safe for
+// concurrent use.
 func (d *Deployment) CenterNode() int {
-	c := d.Area.Center()
-	best, bestDist := 0, d.Metric.Dist(d.Pos[0], c)
-	for i := 1; i < len(d.Pos); i++ {
-		if dist := d.Metric.Dist(d.Pos[i], c); dist < bestDist {
-			best, bestDist = i, dist
+	d.centerOnce.Do(func() {
+		c := d.Area.Center()
+		best, bestDist := 0, d.Metric.Dist(d.Pos[0], c)
+		for i := 1; i < len(d.Pos); i++ {
+			if dist := d.Metric.Dist(d.Pos[i], c); dist < bestDist {
+				best, bestDist = i, dist
+			}
 		}
-	}
-	return best
+		d.center = best
+	})
+	return d.center
 }
 
 // ComponentOf returns the ids of all devices reachable from src through
