@@ -1,12 +1,12 @@
 # Convenience targets; everything here is plain go tool invocations.
 
-.PHONY: test race golden fuzz
+.PHONY: test race golden golden-check fuzz
 
 test:
 	go build ./... && go test ./...
 
 race:
-	go test -race ./internal/sim/... ./internal/experiment/... ./internal/adversary/...
+	go test -race ./internal/sim/... ./internal/experiment/... ./internal/adversary/... ./internal/medium/...
 
 # Regenerate the checked-in golden JSON documents after a change that
 # intentionally moves the numbers (a new family instance, a new ladder
@@ -15,9 +15,24 @@ race:
 golden:
 	go run ./cmd/rbexp -exp families -json -q -seed 1 > cmd/rbexp/testdata/families_golden.json
 	go run ./cmd/rbexp -exp matrix -json -q -seed 1 > cmd/rbexp/testdata/matrix_golden.json
+	go run ./cmd/rbexp -exp dropoff -json -q -seed 1 > cmd/rbexp/testdata/dropoff_golden.json
 
-# Short local fuzz pass over the -param parser and the typed getters
-# (CI replays the checked-in corpus under testdata/fuzz on every run).
+# Diff rbexp's current output against the checked-in goldens without
+# touching them, failing loudly on any drift. The golden documents are
+# produced on the default in-process transport; transports must never
+# move them (the UDP equivalence tests pin that).
+golden-check:
+	@status=0; \
+	for exp in families matrix dropoff; do \
+		go run ./cmd/rbexp -exp $$exp -json -q -seed 1 | \
+			diff -u cmd/rbexp/testdata/$${exp}_golden.json - || \
+			{ echo "GOLDEN DRIFT: $$exp (regenerate deliberately with 'make golden')"; status=1; }; \
+	done; exit $$status
+
+# Short local fuzz pass over the -param parser, the typed getters and
+# the adversary-mix label parser (CI replays the checked-in corpus
+# under testdata/fuzz on every run).
 fuzz:
 	go test ./internal/core/ -fuzz FuzzParseParam -fuzztime 30s -run '^$$'
 	go test ./internal/core/ -fuzz FuzzParamsGetters -fuzztime 30s -run '^$$'
+	go test ./internal/experiment/ -fuzz FuzzParseMix -fuzztime 30s -run '^$$'

@@ -13,9 +13,12 @@
 // built-in media (Friis over uniform deployments, disk over L-infinity
 // grids), families, the protocol-family sweep enumerating every
 // registered driver instance (core.Instances()) on one shared grid,
-// and matrix, the adversary-ladder matrix crossing every instance with
+// matrix, the adversary-ladder matrix crossing every instance with
 // a ladder of adversary mixes (liar fractions, per-jammer budgets,
-// spoofers).
+// spoofers), and dropoff, the per-instance drop-off summary walking the
+// same ladder until each protocol stops tolerating it. Both ladder
+// sweeps take -mixes, a comma-separated list of compact mix labels
+// ("clean,liar15,jam10b32") replacing the default ladder.
 //
 // -param name=value overlays a typed driver knob on every cell
 // (repeatable; bool/int/float/string inferred — family presets still
@@ -46,6 +49,7 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut = flag.Bool("json", false, "emit one JSON document per experiment (stable for a fixed seed)")
 		quiet   = flag.Bool("q", false, "suppress per-cell progress")
+		mixes   = flag.String("mixes", "", "comma-separated adversary mixes overriding the ladder of the matrix/dropoff sweeps (e.g. clean,liar15,jam10b32,spoof10b16)")
 	)
 	var params core.ParamFlag
 	flag.Var(&params, "param", "typed driver knob name=value overlaid on every cell (repeatable)")
@@ -57,6 +61,14 @@ func main() {
 		Reps:    *reps,
 		Workers: *workers,
 		Params:  params.Params,
+	}
+	if *mixes != "" {
+		ms, err := experiment.ParseMixes(*mixes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opt.Mixes = ms
 	}
 	if !*quiet {
 		opt.Progress = os.Stderr

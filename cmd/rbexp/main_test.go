@@ -31,6 +31,13 @@ func TestMatrixGoldenJSON(t *testing.T) {
 	checkGolden(t, "matrix", experiment.Matrix, "testdata/matrix_golden.json")
 }
 
+// TestDropoffGoldenJSON pins `rbexp -exp dropoff -json -seed 1`: the
+// ladder-walk order, the tolerance thresholds, and the drop-off row
+// format cannot drift silently. Regenerate with `make golden`.
+func TestDropoffGoldenJSON(t *testing.T) {
+	checkGolden(t, "dropoff", experiment.Dropoff, "testdata/dropoff_golden.json")
+}
+
 func checkGolden(t *testing.T, name string, run experiment.Runner, path string) {
 	t.Helper()
 	if testing.Short() {

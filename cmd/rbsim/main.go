@@ -17,6 +17,16 @@
 //	rbsim -proto gossip -nodes 500 -side 20 -range 3
 //	rbsim -proto gossip -param gossip.fanout=5 -param gossip.prob=0.9
 //	rbsim -proto nw -grid 9 -range 2 -spoofers 0.1 -spoofbudget 16
+//	rbsim -proto nw -grid 9 -range 2 -mix liar10+jam10b16
+//	rbsim -proto onehop -grid 4 -range 5 -transport udp
+//
+// -mix sets the whole adversary dimension from one compact label
+// (ParseMix's grammar) instead of the individual fraction flags.
+// -transport udp routes every device's round callbacks over real
+// loopback UDP sockets (one endpoint per device) through the
+// sim.RoundDriver seam; results are bit-identical to the in-process
+// transport for the same seed. -tracerx adds kind=rx observation lines
+// to the -trace log.
 package main
 
 import (
@@ -30,10 +40,16 @@ import (
 
 	"authradio/internal/core"
 	"authradio/internal/experiment"
+	netmedium "authradio/internal/medium/net"
 	"authradio/internal/metrics"
 	"authradio/internal/trace"
 
 	_ "authradio/internal/protocols"
+
+	// OneHopRB registers here (not in internal/protocols): it is
+	// single-hop by construction and would otherwise join every
+	// registry-enumerating experiment sweep.
+	_ "authradio/internal/proto/onehop/driver"
 )
 
 // defaultMaxRounds is the round cap shared by the -maxrounds flag
@@ -58,11 +74,14 @@ func main() {
 		spoofers = flag.Float64("spoofers", 0, "fraction of spoofing devices (garbage data frames in random rounds)")
 		budget   = flag.Int("budget", 0, "per-jammer broadcast budget (0 = unlimited)")
 		spBudget = flag.Int("spoofbudget", 0, "per-spoofer broadcast budget (0 = unlimited)")
+		mix      = flag.String("mix", "", "compact adversary mix label (e.g. liar15, jam10b32, liar5+spoof10b16) instead of the individual fraction flags")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		rep      = flag.Int("rep", 0, "repetition index (varies deployment/roles)")
 		maxR     = flag.Uint64("maxrounds", defaultMaxRounds, "round cap")
 		stats    = flag.Bool("stats", false, "print channel statistics (tx by kind, utilisation)")
 		traceN   = flag.Int("trace", 0, "log the first N transmissions to stderr")
+		traceRx  = flag.Bool("tracerx", false, "also log listener observations (kind=rx) within the -trace budget")
+		tport    = flag.String("transport", "sim", "round-boundary transport: sim (in-process) or udp (loopback sockets, one endpoint per device)")
 	)
 	var params core.ParamFlag
 	flag.Var(&params, "param", "typed driver knob name=value (repeatable; bool/int/float/string inferred, e.g. -param gossip.fanout=3)")
@@ -84,6 +103,27 @@ func main() {
 		os.Exit(2)
 	}
 
+	adv := experiment.AdversaryMix{
+		LiarFrac:    *liars,
+		JamFrac:     *jammers,
+		CrashFrac:   *crash,
+		SpoofFrac:   *spoofers,
+		JamBudget:   *budget,
+		SpoofBudget: *spBudget,
+	}
+	if *mix != "" {
+		if !adv.IsZero() || *budget != 0 || *spBudget != 0 {
+			fmt.Fprintln(os.Stderr, "-mix is mutually exclusive with -liars/-jammers/-crash/-spoofers/-budget/-spoofbudget")
+			os.Exit(2)
+		}
+		m, err := experiment.ParseMix(*mix)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		adv = m
+	}
+
 	s := experiment.Scenario{
 		Name:         "rbsim",
 		ProtocolName: drv.Name(),
@@ -94,17 +134,10 @@ func main() {
 		MsgBits:      bits,
 		MsgLen:       *msgLen,
 		T:            *t,
-		AdversaryMix: experiment.AdversaryMix{
-			LiarFrac:    *liars,
-			JamFrac:     *jammers,
-			CrashFrac:   *crash,
-			SpoofFrac:   *spoofers,
-			JamBudget:   *budget,
-			SpoofBudget: *spBudget,
-		},
-		Params:    params.Params,
-		Seed:      *seed,
-		MaxRounds: *maxR,
+		AdversaryMix: adv,
+		Params:       params.Params,
+		Seed:         *seed,
+		MaxRounds:    *maxR,
 	}
 	if *grid > 0 {
 		s.Deploy = experiment.GridDeploy
@@ -115,7 +148,16 @@ func main() {
 		s.Sigma = *sigma
 	}
 
-	res, coll := runScenario(s, *rep, *stats, *traceN)
+	if *traceRx && *traceN == 0 {
+		fmt.Fprintln(os.Stderr, "-tracerx needs a -trace budget (e.g. -trace 200 -tracerx)")
+		os.Exit(2)
+	}
+	if *tport != "sim" && *tport != "udp" {
+		fmt.Fprintf(os.Stderr, "unknown transport %q; want sim or udp\n", *tport)
+		os.Exit(2)
+	}
+
+	res, coll := runScenario(s, *rep, *stats, *traceN, *traceRx, *tport)
 	fmt.Printf("protocol:        %s\n", drv.Name())
 	fmt.Printf("honest nodes:    %d\n", res.Honest)
 	fmt.Printf("completed:       %d (%.1f%%)\n", res.Complete, 100*res.CompletionFrac())
@@ -159,9 +201,11 @@ func protocolList() string {
 // runScenario builds and runs the scenario like Scenario.Run, with
 // engine-level parallelism enabled (a single scenario run has no
 // repetition fan-out to feed, and worker counts never change results)
-// and optional channel statistics and tracing attached through build
-// options.
-func runScenario(s experiment.Scenario, rep int, stats bool, traceN int) (core.Result, *metrics.Collector) {
+// and optional channel statistics, tracing and a non-default transport
+// attached through build options. The udp transport hosts every device
+// behind its own loopback socket and produces results bit-identical to
+// sim for the same seed (pinned by internal/medium/net's tests).
+func runScenario(s experiment.Scenario, rep int, stats bool, traceN int, traceRx bool, transport string) (core.Result, *metrics.Collector) {
 	opts := []core.Option{core.WithWorkers(runtime.GOMAXPROCS(0))}
 	var coll *metrics.Collector
 	if stats {
@@ -172,12 +216,23 @@ func runScenario(s experiment.Scenario, rep int, stats bool, traceN int) (core.R
 	if traceN > 0 {
 		tl = &trace.Logger{W: os.Stderr, MaxLines: traceN}
 		opts = append(opts, core.WithRoundHook(tl.Hook()))
+		if traceRx {
+			opts = append(opts, core.WithDeliverHook(tl.RxHook()))
+		}
+	}
+	if transport == "udp" {
+		opts = append(opts, core.WithTransport(netmedium.Transport{}))
 	}
 	w, err := s.BuildWorld(rep, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	defer func() {
+		if err := w.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "closing transport:", err)
+		}
+	}()
 	if tl != nil {
 		// The cycle is a product of the build; the hook only reads it
 		// once rounds start.

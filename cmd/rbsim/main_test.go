@@ -20,7 +20,8 @@ func TestProtocolListGolden(t *testing.T) {
 		"NeighborWatchRB        aliases: neighborwatch, nw\n" +
 		"  NeighborWatchRB/k3\n" +
 		"  NeighborWatchRB/k4\n" +
-		"NeighborWatchRB-2vote  aliases: 2vote, neighborwatch2, nw2\n"
+		"NeighborWatchRB-2vote  aliases: 2vote, neighborwatch2, nw2\n" +
+		"OneHopRB               aliases: 1hop, onehop\n"
 	if got := protocolList(); got != want {
 		t.Fatalf("protocol list drifted:\ngot:\n%swant:\n%s", got, want)
 	}

@@ -1,0 +1,122 @@
+package bitcodec
+
+import (
+	"fmt"
+
+	"authradio/internal/radio"
+)
+
+// This file is the byte-level wire encoding used by transport media
+// (internal/medium/net) to move frames and observations across real
+// sockets. It is deliberately dumb and fixed-layout — every field in
+// little-endian order, no varints, no compression — so that the
+// encoding is trivially bijective: DecodeFrame(AppendFrame(f)) == f for
+// every wire-valid frame, which is what keeps socket runs bit-identical
+// to simulated runs.
+//
+// Frame layout (FrameWireLen = 14 bytes):
+//
+//	[0]     kind (opaque byte)
+//	[1:5]   src, uint32 little-endian
+//	[5:13]  payload, uint64 little-endian
+//	[13]    payload length in bits
+//
+// Obs layout (1 byte, plus a frame iff decoded):
+//
+//	[0]     flags: bit0 = busy, bit1 = decoded
+//	[1:15]  frame (present only when decoded)
+
+// FrameWireLen is the encoded size of one frame in bytes.
+const FrameWireLen = 1 + 4 + 8 + 1
+
+// Obs flag bits.
+const (
+	obsBusy    = 1 << 0
+	obsDecoded = 1 << 1
+)
+
+// AppendFrame appends the wire encoding of f to dst and returns the
+// extended slice. It panics if f is not wire-valid (see
+// radio.Frame.WireValid); transports validate frames at the seam, so an
+// invalid frame here is a programming error.
+func AppendFrame(dst []byte, f radio.Frame) []byte {
+	if err := f.WireValid(); err != nil {
+		panic(err)
+	}
+	src := uint32(f.Src)
+	return append(dst,
+		byte(f.Kind),
+		byte(src), byte(src>>8), byte(src>>16), byte(src>>24),
+		byte(f.Payload), byte(f.Payload>>8), byte(f.Payload>>16), byte(f.Payload>>24),
+		byte(f.Payload>>32), byte(f.Payload>>40), byte(f.Payload>>48), byte(f.Payload>>56),
+		f.PayloadLen,
+	)
+}
+
+// DecodeFrame parses one frame from the front of b, returning the frame
+// and the remaining bytes. It rejects truncated input and encodings
+// that violate the wire invariants (over-long payload length).
+func DecodeFrame(b []byte) (radio.Frame, []byte, error) {
+	if len(b) < FrameWireLen {
+		return radio.Frame{}, nil, fmt.Errorf("bitcodec: frame truncated: %d of %d bytes", len(b), FrameWireLen)
+	}
+	f := radio.Frame{
+		Kind: radio.FrameKind(b[0]),
+		Src:  int(uint32(b[1]) | uint32(b[2])<<8 | uint32(b[3])<<16 | uint32(b[4])<<24),
+		Payload: uint64(b[5]) | uint64(b[6])<<8 | uint64(b[7])<<16 | uint64(b[8])<<24 |
+			uint64(b[9])<<32 | uint64(b[10])<<40 | uint64(b[11])<<48 | uint64(b[12])<<56,
+		PayloadLen: b[13],
+	}
+	if err := f.WireValid(); err != nil {
+		return radio.Frame{}, nil, err
+	}
+	return f, b[FrameWireLen:], nil
+}
+
+// AppendObs appends the wire encoding of o to dst and returns the
+// extended slice. It panics if o is not wire-valid (see
+// radio.Obs.WireValid).
+func AppendObs(dst []byte, o radio.Obs) []byte {
+	if err := o.WireValid(); err != nil {
+		panic(err)
+	}
+	var flags byte
+	if o.Busy {
+		flags |= obsBusy
+	}
+	if o.Decoded {
+		flags |= obsDecoded
+	}
+	dst = append(dst, flags)
+	if o.Decoded {
+		dst = AppendFrame(dst, o.Frame)
+	}
+	return dst
+}
+
+// DecodeObs parses one observation from the front of b, returning the
+// observation and the remaining bytes. It rejects truncated input,
+// unknown flag bits, and flag combinations that violate the observation
+// invariant (decoded implies busy).
+func DecodeObs(b []byte) (radio.Obs, []byte, error) {
+	if len(b) < 1 {
+		return radio.Obs{}, nil, fmt.Errorf("bitcodec: obs truncated: empty input")
+	}
+	flags := b[0]
+	if flags&^(obsBusy|obsDecoded) != 0 {
+		return radio.Obs{}, nil, fmt.Errorf("bitcodec: obs has unknown flag bits %#x", flags)
+	}
+	o := radio.Obs{Busy: flags&obsBusy != 0, Decoded: flags&obsDecoded != 0}
+	rest := b[1:]
+	if o.Decoded {
+		var err error
+		o.Frame, rest, err = DecodeFrame(rest)
+		if err != nil {
+			return radio.Obs{}, nil, err
+		}
+	}
+	if err := o.WireValid(); err != nil {
+		return radio.Obs{}, nil, err
+	}
+	return o, rest, nil
+}

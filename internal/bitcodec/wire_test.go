@@ -1,0 +1,177 @@
+package bitcodec
+
+import (
+	"testing"
+
+	"authradio/internal/radio"
+)
+
+// wireKinds covers every named frame kind plus unknown kind bytes,
+// which the codec must pass through opaquely.
+var wireKinds = []radio.FrameKind{
+	radio.KindData, radio.KindAck, radio.KindVeto, radio.KindJam,
+	radio.FrameKind(7), radio.FrameKind(255),
+}
+
+// wirePayloads exercises every byte of the payload word: zeros, all
+// ones, single set bits at the lane boundaries, and asymmetric
+// patterns that detect byte-order or shift mistakes.
+var wirePayloads = []uint64{
+	0,
+	1,
+	^uint64(0),
+	0x8000_0000_0000_0000,
+	0x0123_4567_89AB_CDEF,
+	0xFEDC_BA98_7654_3210,
+	0x00FF_00FF_00FF_00FF,
+	0xAAAA_AAAA_AAAA_AAAA,
+	1 << 31,
+	1 << 32,
+	1 << 63,
+}
+
+var wireSrcs = []int{0, 1, 255, 256, 1 << 16, 1<<32 - 1}
+
+// TestFrameWireRoundTripExhaustive round-trips every frame kind against
+// every payload pattern, every payload length, and boundary source ids
+// through the byte encoding used by medium/net, asserting exact
+// equality and full input consumption.
+func TestFrameWireRoundTripExhaustive(t *testing.T) {
+	for _, kind := range wireKinds {
+		for _, payload := range wirePayloads {
+			for paylen := 0; paylen <= radio.MaxPayloadBits; paylen++ {
+				for _, src := range wireSrcs {
+					f := radio.Frame{Kind: kind, Src: src, Payload: payload, PayloadLen: uint8(paylen)}
+					enc := AppendFrame(nil, f)
+					if len(enc) != FrameWireLen {
+						t.Fatalf("%+v: encoded %d bytes, want %d", f, len(enc), FrameWireLen)
+					}
+					got, rest, err := DecodeFrame(enc)
+					if err != nil {
+						t.Fatalf("%+v: decode: %v", f, err)
+					}
+					if len(rest) != 0 {
+						t.Fatalf("%+v: %d trailing bytes", f, len(rest))
+					}
+					if got != f {
+						t.Fatalf("round trip: got %+v, want %+v", got, f)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFrameWireAppendsAndChains checks that AppendFrame really appends
+// and that DecodeFrame consumes exactly one frame from a concatenation.
+func TestFrameWireAppendsAndChains(t *testing.T) {
+	a := radio.Frame{Kind: radio.KindData, Src: 7, Payload: 0xBEEF, PayloadLen: 16}
+	b := radio.Frame{Kind: radio.KindVeto, Src: 1<<32 - 1}
+	buf := AppendFrame(nil, a)
+	buf = AppendFrame(buf, b)
+	if len(buf) != 2*FrameWireLen {
+		t.Fatalf("chained encoding is %d bytes, want %d", len(buf), 2*FrameWireLen)
+	}
+	gotA, rest, err := DecodeFrame(buf)
+	if err != nil || gotA != a {
+		t.Fatalf("first frame: %+v, %v", gotA, err)
+	}
+	gotB, rest, err := DecodeFrame(rest)
+	if err != nil || gotB != b || len(rest) != 0 {
+		t.Fatalf("second frame: %+v, %v, %d rest", gotB, err, len(rest))
+	}
+}
+
+// TestObsWireRoundTrip round-trips the three observation shapes —
+// silence, activity-only, decoded — the last against every frame kind.
+func TestObsWireRoundTrip(t *testing.T) {
+	cases := []radio.Obs{radio.Silence, radio.Collision()}
+	for _, kind := range wireKinds {
+		cases = append(cases, radio.Received(radio.Frame{Kind: kind, Src: 42, Payload: 0xCAFE, PayloadLen: 16}))
+	}
+	for _, o := range cases {
+		enc := AppendObs(nil, o)
+		wantLen := 1
+		if o.Decoded {
+			wantLen += FrameWireLen
+		}
+		if len(enc) != wantLen {
+			t.Fatalf("%+v: encoded %d bytes, want %d", o, len(enc), wantLen)
+		}
+		got, rest, err := DecodeObs(enc)
+		if err != nil {
+			t.Fatalf("%+v: decode: %v", o, err)
+		}
+		if len(rest) != 0 || got != o {
+			t.Fatalf("round trip: got %+v (%d rest), want %+v", got, len(rest), o)
+		}
+	}
+}
+
+func TestFrameWireRejectsTruncation(t *testing.T) {
+	enc := AppendFrame(nil, radio.Frame{Kind: radio.KindAck, Src: 3})
+	for n := 0; n < len(enc); n++ {
+		if _, _, err := DecodeFrame(enc[:n]); err == nil {
+			t.Fatalf("decoded a %d-byte prefix without error", n)
+		}
+	}
+}
+
+func TestObsWireRejectsBadInput(t *testing.T) {
+	if _, _, err := DecodeObs(nil); err == nil {
+		t.Fatal("decoded empty obs")
+	}
+	if _, _, err := DecodeObs([]byte{0x04}); err == nil {
+		t.Fatal("accepted unknown flag bits")
+	}
+	// Decoded-without-busy violates the observation invariant.
+	if _, _, err := DecodeObs(append([]byte{obsDecoded}, make([]byte, FrameWireLen)...)); err == nil {
+		t.Fatal("accepted decoded obs without busy")
+	}
+	// Decoded flag with a truncated frame.
+	if _, _, err := DecodeObs([]byte{obsBusy | obsDecoded, 1, 2}); err == nil {
+		t.Fatal("accepted truncated decoded obs")
+	}
+}
+
+func TestFrameWireRejectsInvalidPayloadLen(t *testing.T) {
+	enc := AppendFrame(nil, radio.Frame{Kind: radio.KindData})
+	enc[FrameWireLen-1] = radio.MaxPayloadBits + 1
+	if _, _, err := DecodeFrame(enc); err == nil {
+		t.Fatal("accepted payload length > 64")
+	}
+}
+
+func TestAppendFramePanicsOnInvalid(t *testing.T) {
+	for _, f := range []radio.Frame{
+		{Src: -1},
+		{Src: 1 << 32},
+		{PayloadLen: radio.MaxPayloadBits + 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AppendFrame(%+v) did not panic", f)
+				}
+			}()
+			AppendFrame(nil, f)
+		}()
+	}
+}
+
+func TestAppendObsPanicsOnInvalid(t *testing.T) {
+	for _, o := range []radio.Obs{
+		{Decoded: true},              // decoded without busy
+		{Frame: radio.Frame{Src: 1}}, // frame without decoded
+		{Busy: true, Decoded: true, Frame: radio.Frame{Src: -1}}, // invalid inner frame
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AppendObs(%+v) did not panic", o)
+				}
+			}()
+			AppendObs(nil, o)
+		}()
+	}
+}

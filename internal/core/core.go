@@ -350,8 +350,22 @@ func Build(cfg Config, opts ...Option) (*World, error) {
 	}
 
 	w.Eng.OnRound = chainHooks(bo.hooks)
+	w.Eng.OnDeliver = chainObsHooks(bo.obsHooks)
+	if bo.transport != nil {
+		// Installed last: a transport snapshots the device set, so every
+		// device — protocol nodes and adversaries alike — must already
+		// be registered.
+		if err := w.Eng.UseTransport(bo.transport); err != nil {
+			return nil, fmt.Errorf("core: installing transport: %w", err)
+		}
+	}
 	return w, nil
 }
+
+// Close releases the resources of the world's round driver (sockets,
+// endpoint goroutines). Worlds built without WithTransport hold none
+// and Close is a no-op; it is safe to call after every Build.
+func (w *World) Close() error { return w.Eng.Close() }
 
 // HonestDone reports whether every honest node has completed.
 func (w *World) HonestDone() bool {

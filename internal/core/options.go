@@ -4,6 +4,7 @@ import (
 	"slices"
 
 	"authradio/internal/radio"
+	"authradio/internal/sim"
 )
 
 // Option adjusts how Build constructs a world, without growing Config:
@@ -14,7 +15,9 @@ type Option func(*buildOptions)
 
 type buildOptions struct {
 	hooks      []func(uint64, []radio.Tx)
+	obsHooks   []sim.ObsHook
 	medium     radio.Medium
+	transport  sim.Transport
 	workers    int
 	workersSet bool
 }
@@ -42,6 +45,25 @@ func WithWorkers(n int) Option {
 	return func(o *buildOptions) { o.workers, o.workersSet = n, true }
 }
 
+// WithDeliverHook registers a per-observation observer on the engine
+// (invoked once per listener observation, in listener wake order, after
+// each round's channel resolution — see sim.Engine.OnDeliver). Multiple
+// hooks chain in registration order. The order is deterministic across
+// delivery paths, worker counts, and transports.
+func WithDeliverHook(h sim.ObsHook) Option {
+	return func(o *buildOptions) { o.obsHooks = append(o.obsHooks, h) }
+}
+
+// WithTransport routes round resolution through t (see
+// sim.Engine.UseTransport): devices are built and scheduled exactly as
+// on the default in-process path, but each round's Wake/Deliver
+// callbacks flow over the transport. The transport is installed after
+// every device (including adversaries) has been added. Worlds built
+// with a transport should be Closed to release its resources.
+func WithTransport(t sim.Transport) Option {
+	return func(o *buildOptions) { o.transport = t }
+}
+
 // chainHooks folds the registered round hooks into a single engine
 // callback (nil when none).
 func chainHooks(hs []func(uint64, []radio.Tx)) func(uint64, []radio.Tx) {
@@ -55,6 +77,23 @@ func chainHooks(hs []func(uint64, []radio.Tx)) func(uint64, []radio.Tx) {
 	return func(r uint64, txs []radio.Tx) {
 		for _, h := range hs {
 			h(r, txs)
+		}
+	}
+}
+
+// chainObsHooks folds the registered observation hooks into a single
+// engine callback (nil when none).
+func chainObsHooks(hs []sim.ObsHook) sim.ObsHook {
+	switch len(hs) {
+	case 0:
+		return nil
+	case 1:
+		return hs[0]
+	}
+	hs = slices.Clone(hs)
+	return func(r uint64, dev int, obs radio.Obs) {
+		for _, h := range hs {
+			h(r, dev, obs)
 		}
 	}
 }

@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"fmt"
+
+	"authradio/internal/core"
+)
+
+// Drop-off tolerance thresholds: a rung counts as tolerated when at
+// least dropoffDelivery percent of honest nodes complete and no
+// completed node accepts a wrong message.
+const dropoffDelivery = 99.0
+
+// Dropoff is the per-family drop-off summary, the Figure 7 question —
+// how much adversary does each protocol tolerate? — asked of every
+// registered instance at once. For each instance it walks the adversary
+// ladder in order and stops at the first rung the protocol no longer
+// tolerates (delivery below the threshold, or any spurious accept); the
+// row reports the last tolerated rung and where (and how hard) the
+// protocol fell off. One row per instance, so the nwatch voting ladder,
+// the multipath tolerance ladder and the gossip presets are directly
+// comparable as "max tolerated adversary" instead of a full matrix of
+// numbers. Shares the matrix sweep's base cell, ladder and metric
+// formulas, so the two experiments cannot drift apart; `rbexp -exp
+// dropoff -json` serializes it byte-stably for a fixed seed.
+func Dropoff(o Options) []Table {
+	gridW := 7
+	if o.Full {
+		gridW = 11
+	}
+	reps := o.reps(1, 3)
+	mixes := o.ladder()
+
+	base := Scenario{
+		Name:   "dropoff",
+		Deploy: GridDeploy,
+		GridW:  gridW,
+		Range:  2,
+		MsgLen: 4,
+		Seed:   o.seed(),
+	}
+	instances := core.Instances()
+	tbl := Table{
+		Title: "Adversary drop-off — max tolerated ladder rung per instance",
+		Note: fmt.Sprintf("%dx%d analytical grid, R=2, 4-bit message, %d reps; each instance walks the %d-rung adversary ladder in order until delivery < %.0f%% or any spurious accept; 'tolerated' is the last rung passed, 'drop-off' the first rung failed (- = the whole ladder is tolerated)",
+			gridW, gridW, reps, len(mixes), dropoffDelivery),
+		Header: []string{"instance", "family", "tolerated", "rungs", "drop-off mix", "delivery %", "spurious %"},
+	}
+	for _, instance := range instances {
+		tolerated := "none"
+		rungs := 0
+		dropMix, dropDelivery, dropSpurious := "-", "-", "-"
+		for _, mix := range mixes {
+			s := base
+			s.ProtocolName = instance
+			s.AdversaryMix = mix
+			s.Name = "dropoff/" + instance + "/" + mix.Mix()
+			s.MaxRounds = maxRoundsFor(familyOf(instance), o.Full)
+			_, agg := cell(s, o, reps)
+			delivery := agg.CompletionPct.Mean
+			spurious := 100 - agg.CorrectPct.Mean
+			if delivery < dropoffDelivery || spurious > 0 {
+				dropMix = mix.Mix()
+				dropDelivery = fmt.Sprintf("%.1f", delivery)
+				dropSpurious = fmt.Sprintf("%.1f", spurious)
+				break
+			}
+			tolerated = mix.Mix()
+			rungs++
+		}
+		tbl.Add(instance, familyOf(instance), tolerated,
+			fmt.Sprintf("%d/%d", rungs, len(mixes)), dropMix, dropDelivery, dropSpurious)
+	}
+	return []Table{tbl}
+}

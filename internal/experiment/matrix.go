@@ -124,6 +124,15 @@ func Ladder(full bool) []AdversaryMix {
 	}
 }
 
+// ladder returns the adversary ladder in force: the -mixes override
+// when set, the default Ladder otherwise.
+func (o Options) ladder() []AdversaryMix {
+	if len(o.Mixes) > 0 {
+		return o.Mixes
+	}
+	return Ladder(o.Full)
+}
+
 // SweepMatrix crosses every instance with every adversary mix over one
 // shared base cell: the D×P grid of scenarios SweepInstances would
 // produce for each mix, ordered instance-major (every mix of instance
@@ -156,7 +165,7 @@ func Matrix(o Options) []Table {
 		gridW = 11
 	}
 	reps := o.reps(1, 3)
-	mixes := Ladder(o.Full)
+	mixes := o.ladder()
 
 	base := Scenario{
 		Name:   "matrix",

@@ -145,6 +145,10 @@ type Options struct {
 	// scenario's defaults; family presets still pin their knobs over
 	// both). nil leaves every cell untouched.
 	Params core.Params
+	// Mixes overrides the adversary ladder of the ladder-walking sweeps
+	// (matrix, dropoff); nil selects Ladder(Full). rbexp -mixes feeds
+	// it from compact labels (see ParseMixes).
+	Mixes []AdversaryMix
 	// Progress, if non-nil, receives one line per completed cell.
 	Progress io.Writer
 }
@@ -192,10 +196,11 @@ func Registry() map[string]Runner {
 		"dense":     Dense,
 		"families":  Families,
 		"matrix":    Matrix,
+		"dropoff":   Dropoff,
 	}
 }
 
 // Names returns the registry keys in a stable order.
 func Names() []string {
-	return []string{"fig5", "jamming", "fig6", "fig7", "clustered", "mapsize", "epidemic", "theory", "dualmode", "ablation", "dense", "families", "matrix"}
+	return []string{"fig5", "jamming", "fig6", "fig7", "clustered", "mapsize", "epidemic", "theory", "dualmode", "ablation", "dense", "families", "matrix", "dropoff"}
 }

@@ -1,0 +1,388 @@
+// Package netmedium routes the simulator's round boundary over real UDP
+// sockets on the loopback interface, proving that the sim.RoundDriver
+// seam is transport-agnostic.
+//
+// Each device is hosted by its own endpoint: a goroutine with a private
+// UDP socket that owns the device and nothing else. A coordinator — the
+// sim.Caller handed to the standard resolver — issues each round's
+// callbacks as datagrams:
+//
+//	coordinator → endpoint   WAKE [kind u8][ix u32][r u64]
+//	endpoint → coordinator   STEP [kind u8][ix u32][r u64][action u8][nextWake u64][frame?]
+//	coordinator → endpoint   OBS  [kind u8][ix u32][r u64][obs]
+//	endpoint → coordinator   ACK  [kind u8][ix u32][r u64]
+//
+// All integers are little-endian; frames and observations use the
+// internal/bitcodec wire encoding shared with every other transport.
+// The round barrier is inherited from the resolver: a round's phase B
+// does not start until every WAKE of phase A has been answered, and the
+// clock does not advance until every OBS has been acknowledged, so
+// devices stay round-synchronous even though each lives behind its own
+// socket.
+//
+// Channel resolution itself (collision sets, loss, spatial index) stays
+// in-process in the resolver, which is what makes runs bit-identical to
+// the default in-process path for the same seed and deployment — the
+// sockets move device callbacks, not physics. Datagram loss is handled
+// by idempotent retransmission: the coordinator re-sends a request that
+// is not answered within Timeout, and endpoints replay the cached
+// response for a repeated round instead of re-invoking the device, so
+// device callbacks remain exactly-once. A request that remains
+// unanswered after Retries attempts panics — on loopback that means the
+// process is broken, not the network.
+package netmedium
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"authradio/internal/bitcodec"
+	"authradio/internal/radio"
+	"authradio/internal/sim"
+)
+
+// Datagram kinds.
+const (
+	kindWake = 1 // coordinator → endpoint: wake the device
+	kindStep = 2 // endpoint → coordinator: the device's step
+	kindObs  = 3 // coordinator → endpoint: deliver an observation
+	kindAck  = 4 // endpoint → coordinator: observation delivered
+)
+
+// hdrLen is the [kind u8][ix u32][r u64] prefix every datagram carries.
+const hdrLen = 1 + 4 + 8
+
+// maxPacket bounds a datagram: header + step body + a wire frame.
+const maxPacket = hdrLen + 1 + 8 + bitcodec.FrameWireLen + 16
+
+// Transport hosts every engine device behind its own loopback UDP
+// socket. The zero value is ready to use; install with core.WithTransport
+// or sim.Engine.UseTransport, and Close the world/engine afterwards to
+// release sockets and goroutines.
+type Transport struct {
+	// Timeout is how long the coordinator waits for a response before
+	// retransmitting a request (default 250ms).
+	Timeout time.Duration
+	// Retries is how many times a request is retransmitted before the
+	// run panics (default 20).
+	Retries int
+}
+
+// Driver implements sim.Transport: it opens one socket per device plus
+// a coordinator socket, starts the endpoint goroutines, and wraps the
+// standard resolver around a Caller that speaks the datagram protocol.
+func (t Transport) Driver(e *sim.Engine) (sim.RoundDriver, error) {
+	timeout := t.Timeout
+	if timeout <= 0 {
+		timeout = 250 * time.Millisecond
+	}
+	retries := t.Retries
+	if retries <= 0 {
+		retries = 20
+	}
+
+	co := &coordinator{timeout: timeout, retries: retries}
+	ok := false
+	defer func() {
+		if !ok {
+			co.Close()
+		}
+	}()
+
+	conn, err := listenLoopback()
+	if err != nil {
+		return nil, fmt.Errorf("netmedium: coordinator socket: %w", err)
+	}
+	co.conn = conn
+
+	n := e.Devices()
+	co.peers = make([]*net.UDPAddr, n)
+	co.resp = make([]chan []byte, n)
+	co.endpoints = make([]*endpoint, n)
+	for ix := 0; ix < n; ix++ {
+		econn, err := listenLoopback()
+		if err != nil {
+			return nil, fmt.Errorf("netmedium: endpoint %d socket: %w", ix, err)
+		}
+		ep := &endpoint{
+			ix:   int32(ix),
+			dev:  e.DeviceAt(ix),
+			conn: econn,
+			coor: conn.LocalAddr().(*net.UDPAddr),
+		}
+		co.peers[ix] = econn.LocalAddr().(*net.UDPAddr)
+		co.resp[ix] = make(chan []byte, 4)
+		co.endpoints[ix] = ep
+		co.wg.Add(1)
+		go func() {
+			defer co.wg.Done()
+			ep.serve()
+		}()
+	}
+
+	co.wg.Add(1)
+	go func() {
+		defer co.wg.Done()
+		co.demux()
+	}()
+
+	ok = true
+	return &driver{RoundDriver: sim.NewResolverDriver(e, co), co: co}, nil
+}
+
+// listenLoopback opens a UDP socket on an ephemeral loopback port with
+// a receive buffer large enough for a full round's burst.
+func listenLoopback() (*net.UDPConn, error) {
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	_ = conn.SetReadBuffer(1 << 20)
+	_ = conn.SetWriteBuffer(1 << 20)
+	return conn, nil
+}
+
+// driver pairs the resolver with the coordinator's resources so that
+// Engine.Close tears the sockets down.
+type driver struct {
+	sim.RoundDriver
+	co *coordinator
+}
+
+func (d *driver) Close() error { return d.co.Close() }
+
+// coordinator is the transport's sim.Caller: it turns each device
+// callback into a request datagram and blocks until the matching
+// response arrives. Distinct device indices may be in flight
+// concurrently (the resolver's worker pool); per index, calls are
+// serial, so one response channel per index suffices.
+type coordinator struct {
+	conn      *net.UDPConn
+	peers     []*net.UDPAddr
+	resp      []chan []byte
+	endpoints []*endpoint
+	timeout   time.Duration
+	retries   int
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// Wake implements sim.Caller over a WAKE/STEP exchange.
+func (c *coordinator) Wake(ix int32, r uint64) sim.Step {
+	req := appendHeader(make([]byte, 0, hdrLen), kindWake, ix, r)
+	body := c.roundTrip(ix, r, req, kindStep)
+	step, err := decodeStep(body)
+	if err != nil {
+		panic(fmt.Sprintf("netmedium: endpoint %d round %d: %v", ix, r, err))
+	}
+	return step
+}
+
+// Deliver implements sim.Caller over an OBS/ACK exchange.
+func (c *coordinator) Deliver(ix int32, r uint64, obs radio.Obs) {
+	req := appendHeader(make([]byte, 0, maxPacket), kindObs, ix, r)
+	req = bitcodec.AppendObs(req, obs)
+	c.roundTrip(ix, r, req, kindAck)
+}
+
+// roundTrip sends req to endpoint ix until a response for round r with
+// the wanted kind arrives, and returns the response body (the bytes
+// after the header). Stale responses — retransmission echoes for an
+// earlier request of the same index — are discarded by their round
+// number and kind.
+func (c *coordinator) roundTrip(ix int32, r uint64, req []byte, wantKind byte) []byte {
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if _, err := c.conn.WriteToUDP(req, c.peers[ix]); err != nil {
+			panic(fmt.Sprintf("netmedium: send to endpoint %d: %v", ix, err))
+		}
+		deadline := time.NewTimer(c.timeout)
+		for {
+			select {
+			case pkt := <-c.resp[ix]:
+				kind, _, pr, body, err := splitHeader(pkt)
+				if err != nil || kind != wantKind || pr != r {
+					continue // stale duplicate from an earlier retransmission
+				}
+				deadline.Stop()
+				// Acquire the endpoint's mutex to import the memory
+				// effects of the device invocation that produced this
+				// response (see endpoint.mu).
+				ep := c.endpoints[ix]
+				ep.mu.Lock()
+				//lint:ignore SA2001 an empty critical section is the point:
+				// the lock/unlock pair is a cross-goroutine memory barrier.
+				ep.mu.Unlock()
+				return body
+			case <-deadline.C:
+			}
+			break
+		}
+	}
+	panic(fmt.Sprintf("netmedium: endpoint %d unresponsive after %d attempts (round %d)",
+		ix, c.retries+1, r))
+}
+
+// demux reads the coordinator socket and routes each response to its
+// device index channel. It exits when the socket closes.
+func (c *coordinator) demux() {
+	buf := make([]byte, maxPacket)
+	for {
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			return
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		_, ix, _, _, err := splitHeader(pkt)
+		if err != nil || int(ix) >= len(c.resp) {
+			continue
+		}
+		select {
+		case c.resp[ix] <- pkt:
+		default: // channel full: a burst of duplicates, drop
+		}
+	}
+}
+
+// Close shuts every socket down and waits for the endpoint and demux
+// goroutines to drain. Safe to call more than once.
+func (c *coordinator) Close() error {
+	c.closeOnce.Do(func() {
+		if c.conn != nil {
+			c.conn.Close()
+		}
+		for _, ep := range c.endpoints {
+			if ep != nil {
+				ep.conn.Close()
+			}
+		}
+		c.wg.Wait()
+	})
+	return nil
+}
+
+// endpoint hosts one device: a goroutine that answers WAKE and OBS
+// datagrams by invoking the device and replying with STEP and ACK. The
+// last response is cached so a retransmitted request is answered
+// without re-invoking the device (exactly-once callbacks).
+type endpoint struct {
+	ix   int32
+	dev  sim.Device
+	conn *net.UDPConn
+	coor *net.UDPAddr
+
+	// mu is held while the device is invoked; the coordinator acquires
+	// it after receiving the response. The datagram carries the data,
+	// the mutex carries the memory barrier: device state mutated on
+	// this goroutine becomes visible to the engine's goroutines, which
+	// read it through Status methods between rounds.
+	mu       sync.Mutex
+	lastKey  uint64 // round of the cached response
+	lastKind byte   // request kind the cache answers
+	lastResp []byte
+}
+
+func (ep *endpoint) serve() {
+	buf := make([]byte, maxPacket)
+	for {
+		n, err := ep.conn.Read(buf)
+		if err != nil {
+			return // socket closed
+		}
+		kind, ix, r, body, err := splitHeader(buf[:n])
+		if err != nil || ix != ep.ix {
+			continue
+		}
+		if resp := ep.handle(kind, r, body); resp != nil {
+			ep.send(resp)
+		}
+	}
+}
+
+// handle processes one request under the endpoint's mutex and returns
+// the response to send (nil for a malformed request).
+func (ep *endpoint) handle(kind byte, r uint64, body []byte) []byte {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.lastResp != nil && ep.lastKind == kind && ep.lastKey == r {
+		return ep.lastResp // duplicate: replay, do not re-invoke
+	}
+	var resp []byte
+	switch kind {
+	case kindWake:
+		step := ep.dev.Wake(r)
+		resp = appendStep(appendHeader(make([]byte, 0, maxPacket), kindStep, ep.ix, r), step)
+	case kindObs:
+		obs, rest, err := bitcodec.DecodeObs(body)
+		if err != nil || len(rest) != 0 {
+			return nil
+		}
+		ep.dev.Deliver(r, obs)
+		resp = appendHeader(make([]byte, 0, hdrLen), kindAck, ep.ix, r)
+	default:
+		return nil
+	}
+	ep.lastKey, ep.lastKind, ep.lastResp = r, kind, resp
+	return resp
+}
+
+func (ep *endpoint) send(pkt []byte) {
+	_, _ = ep.conn.WriteToUDP(pkt, ep.coor)
+}
+
+// appendHeader appends the common [kind][ix][r] datagram prefix.
+func appendHeader(dst []byte, kind byte, ix int32, r uint64) []byte {
+	dst = append(dst, kind)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(ix))
+	return binary.LittleEndian.AppendUint64(dst, r)
+}
+
+// splitHeader parses the common prefix and returns the remaining body.
+func splitHeader(pkt []byte) (kind byte, ix int32, r uint64, body []byte, err error) {
+	if len(pkt) < hdrLen {
+		return 0, 0, 0, nil, fmt.Errorf("short datagram (%d bytes)", len(pkt))
+	}
+	kind = pkt[0]
+	ix = int32(binary.LittleEndian.Uint32(pkt[1:5]))
+	r = binary.LittleEndian.Uint64(pkt[5:hdrLen])
+	return kind, ix, r, pkt[hdrLen:], nil
+}
+
+// appendStep encodes a device step: [action u8][nextWake u64] plus the
+// wire frame when the action is Transmit.
+func appendStep(dst []byte, s sim.Step) []byte {
+	dst = append(dst, byte(s.Action))
+	dst = binary.LittleEndian.AppendUint64(dst, s.NextWake)
+	if s.Action == sim.Transmit {
+		dst = bitcodec.AppendFrame(dst, s.Frame)
+	}
+	return dst
+}
+
+// decodeStep parses a STEP body.
+func decodeStep(body []byte) (sim.Step, error) {
+	if len(body) < 1+8 {
+		return sim.Step{}, fmt.Errorf("short step body (%d bytes)", len(body))
+	}
+	s := sim.Step{
+		Action:   sim.Action(body[0]),
+		NextWake: binary.LittleEndian.Uint64(body[1:9]),
+	}
+	rest := body[9:]
+	if s.Action == sim.Transmit {
+		f, tail, err := bitcodec.DecodeFrame(rest)
+		if err != nil {
+			return sim.Step{}, fmt.Errorf("step frame: %w", err)
+		}
+		if len(tail) != 0 {
+			return sim.Step{}, fmt.Errorf("step has %d trailing bytes", len(tail))
+		}
+		s.Frame = f
+	} else if len(rest) != 0 {
+		return sim.Step{}, fmt.Errorf("non-transmit step has %d trailing bytes", len(rest))
+	}
+	return s, nil
+}

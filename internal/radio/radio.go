@@ -25,6 +25,7 @@
 package radio
 
 import (
+	"fmt"
 	"math"
 
 	"authradio/internal/geom"
@@ -70,6 +71,26 @@ type Frame struct {
 	PayloadLen uint8  // number of valid payload bits
 }
 
+// MaxPayloadBits is the widest payload a frame can carry, and hence the
+// largest PayloadLen a byte-transport wire encoding must accept.
+const MaxPayloadBits = 64
+
+// WireValid reports whether the frame satisfies the invariants the
+// byte-level wire encoding (internal/bitcodec's frame codec, used by
+// transport media) relies on: a non-negative source id that fits in 32
+// bits and a payload length of at most MaxPayloadBits. The frame kind
+// is deliberately unconstrained — it travels as an opaque byte so
+// future kinds round-trip unchanged.
+func (f Frame) WireValid() error {
+	if f.Src < 0 || int64(f.Src) > math.MaxUint32 {
+		return fmt.Errorf("radio: frame src %d does not fit the wire encoding", f.Src)
+	}
+	if f.PayloadLen > MaxPayloadBits {
+		return fmt.Errorf("radio: frame payload length %d exceeds %d bits", f.PayloadLen, MaxPayloadBits)
+	}
+	return nil
+}
+
 // Tx is a transmission attempt during one round.
 type Tx struct {
 	Pos   geom.Point
@@ -84,6 +105,24 @@ type Obs struct {
 	// then valid. Busy is always true when Decoded is.
 	Decoded bool
 	Frame   Frame
+}
+
+// WireValid reports whether the observation satisfies the invariants
+// the wire encoding relies on: Decoded implies Busy, the decoded frame
+// is itself wire-valid, and non-decoded observations carry a zero
+// frame (the frame field is only meaningful when Decoded is set, so
+// the encoding does not transmit it otherwise).
+func (o Obs) WireValid() error {
+	if o.Decoded && !o.Busy {
+		return fmt.Errorf("radio: obs decoded without busy")
+	}
+	if !o.Decoded && o.Frame != (Frame{}) {
+		return fmt.Errorf("radio: non-decoded obs carries a frame")
+	}
+	if o.Decoded {
+		return o.Frame.WireValid()
+	}
+	return nil
 }
 
 // Silence is the observation of an idle channel.

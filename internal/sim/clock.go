@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"cmp"
+	"container/heap"
+	"slices"
+)
+
+// This file is the round clock: wake-up scheduling (bucketed wheel +
+// sorted spill, or the legacy map+heap calendar), stop conditions, and
+// the run loop that feeds deduplicated wake sets to the round driver.
+
+// roundHeap is a min-heap of scheduled round numbers.
+type roundHeap []uint64
+
+func (h roundHeap) Len() int            { return len(h) }
+func (h roundHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h roundHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *roundHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *roundHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// wheelSize is the number of round buckets in the wake wheel, a power
+// of two covering every built-in schedule cycle (the longest
+// NeighborWatchRB cycles are a few thousand rounds); wake-ups further
+// out spill to the sorted overflow list.
+const (
+	wheelSize = 4096
+	wheelMask = wheelSize - 1
+)
+
+// spillEntry is one far-future wake-up waiting outside the wheel window.
+type spillEntry struct {
+	round uint64
+	ix    int32
+}
+
+// schedule queues device index ix for round r (NoWake is a no-op).
+func (e *Engine) schedule(ix int32, r uint64) {
+	if r == NoWake {
+		return
+	}
+	if e.DisableWheel {
+		if e.calendar == nil {
+			e.calendar = make(map[uint64][]int32)
+		}
+		if _, ok := e.calendar[r]; !ok {
+			heap.Push(&e.heap, r)
+		}
+		e.calendar[r] = append(e.calendar[r], ix)
+		return
+	}
+	if r < e.wheelBase {
+		// A wake-up behind the wheel window (only possible by Adding a
+		// device with a past firstWake between runs): rewind the wheel
+		// by dumping it into the spill and re-basing.
+		e.rebaseTo(r)
+	}
+	if r < e.wheelBase+wheelSize {
+		slot := r & wheelMask
+		e.wheel[slot] = append(e.wheel[slot], ix)
+		e.wheelCount++
+		return
+	}
+	if e.spillSorted && len(e.spill) > 0 && r < e.spill[len(e.spill)-1].round {
+		e.spillSorted = false
+	}
+	if len(e.spill) == 0 || r < e.spillMin {
+		e.spillMin = r
+	}
+	e.spill = append(e.spill, spillEntry{round: r, ix: ix})
+}
+
+// rebaseTo empties the wheel into the spill and restarts the window at
+// round r. Cold path: only reachable by scheduling behind the window.
+func (e *Engine) rebaseTo(r uint64) {
+	for slot, b := range e.wheel {
+		if len(b) == 0 {
+			continue
+		}
+		// Reconstruct each entry's absolute round from its slot.
+		round := e.wheelBase + (uint64(slot)-e.wheelBase)&wheelMask
+		for _, ix := range b {
+			e.spill = append(e.spill, spillEntry{round: round, ix: ix})
+		}
+		e.wheel[slot] = b[:0]
+	}
+	e.wheelCount = 0
+	e.spillSorted = false
+	if len(e.spill) > 0 {
+		e.spillMin = e.spill[0].round
+		for _, en := range e.spill[1:] {
+			if en.round < e.spillMin {
+				e.spillMin = en.round
+			}
+		}
+		if r < e.spillMin {
+			e.spillMin = r
+		}
+	} else {
+		e.spillMin = r
+	}
+	e.wheelBase = r
+}
+
+// sortSpill establishes the spill's round order. The sort is stable so
+// that same-round wake-ups fire in scheduling order, exactly like the
+// calendar path.
+func (e *Engine) sortSpill() {
+	if !e.spillSorted {
+		slices.SortStableFunc(e.spill, func(a, b spillEntry) int { return cmp.Compare(a.round, b.round) })
+		e.spillSorted = true
+	}
+}
+
+// unspill moves every spill entry inside the current wheel window into
+// its bucket. The spill must be sorted.
+func (e *Engine) unspill() {
+	end := e.wheelBase + wheelSize
+	n := 0
+	for ; n < len(e.spill) && e.spill[n].round < end; n++ {
+		en := e.spill[n]
+		slot := en.round & wheelMask
+		e.wheel[slot] = append(e.wheel[slot], en.ix)
+		e.wheelCount++
+	}
+	if n > 0 {
+		rest := copy(e.spill, e.spill[n:])
+		e.spill = e.spill[:rest]
+	}
+	if len(e.spill) > 0 {
+		e.spillMin = e.spill[0].round
+	}
+}
+
+// wheelNext returns the earliest wheel-scheduled round, migrating spill
+// entries into the window as it comes within reach, and advances
+// wheelBase past empty buckets so repeated peeks are O(1).
+func (e *Engine) wheelNext() (uint64, bool) {
+	if e.wheelCount == 0 {
+		if len(e.spill) == 0 {
+			return 0, false
+		}
+		e.sortSpill()
+		e.wheelBase = e.spill[0].round
+		e.unspill()
+	} else if len(e.spill) > 0 && e.spillMin < e.wheelBase+wheelSize {
+		e.sortSpill()
+		e.unspill()
+	}
+	for r := e.wheelBase; ; r++ {
+		if len(e.wheel[r&wheelMask]) > 0 {
+			e.wheelBase = r
+			return r, true
+		}
+	}
+}
+
+// nextRound peeks the earliest scheduled round across both calendar
+// structures.
+func (e *Engine) nextRound() (uint64, bool) {
+	r, ok := e.wheelNext()
+	if len(e.heap) > 0 && (!ok || e.heap[0] < r) {
+		return e.heap[0], true
+	}
+	return r, ok
+}
+
+// dedupWakes merges the round's wake buckets (either may be nil and
+// both may contain duplicates) into a deduplicated wake set using a
+// per-device epoch stamp: a device is woken at most once per round no
+// matter how often it was scheduled. Rounds are strictly increasing, so
+// the stamp r+1 can never collide with a stale one. The returned slice
+// is valid until the next call.
+func (e *Engine) dedupWakes(r uint64, bkt1, bkt2 []int32) []int32 {
+	stamp := int64(r + 1)
+	e.wakeIxs = e.wakeIxs[:0]
+	for _, bkt := range [2][]int32{bkt1, bkt2} {
+		for _, ix := range bkt {
+			if e.wakeStamp[ix] != stamp {
+				e.wakeStamp[ix] = stamp
+				e.wakeIxs = append(e.wakeIxs, ix)
+			}
+		}
+	}
+	return e.wakeIxs
+}
+
+// Stop functions are polled between rounds; returning true ends the run.
+type Stop func(round uint64) bool
+
+// RunUntil executes rounds until stop returns true, the calendar
+// empties, or maxRound is reached. stop is polled at least every
+// pollEvery rounds of simulated time (pollEvery 0 means poll after every
+// resolved round). It returns the round at which execution stopped.
+func (e *Engine) RunUntil(stop Stop, pollEvery, maxRound uint64) uint64 {
+	d := e.driver()
+	lastPoll := uint64(0)
+	for {
+		r, ok := e.nextRound()
+		if !ok {
+			return e.round
+		}
+		if r >= maxRound {
+			e.round = maxRound
+			return maxRound
+		}
+		// Detach the round's wake buckets. The wheel bucket's backing
+		// array is reattached (emptied) after the round: new wake-ups
+		// for round r+wheelSize spill rather than landing in the
+		// detached slot, so the array is free for reuse.
+		var wbkt, hbkt []int32
+		slot := -1
+		if len(e.wheel[r&wheelMask]) > 0 && r == e.wheelBase {
+			slot = int(r & wheelMask)
+			wbkt = e.wheel[slot]
+			e.wheel[slot] = nil
+			e.wheelCount -= len(wbkt)
+		}
+		if len(e.heap) > 0 && e.heap[0] == r {
+			heap.Pop(&e.heap)
+			hbkt = e.calendar[r]
+			delete(e.calendar, r)
+		}
+		e.round = r
+		wakes := e.dedupWakes(r, wbkt, hbkt)
+		d.Begin(r, wakes)
+		txs := d.Collect(r)
+		d.Deliver(r, e.OnDeliver)
+		if e.OnRound != nil {
+			e.OnRound(r, txs)
+		}
+		if slot >= 0 {
+			e.wheel[slot] = wbkt[:0]
+		}
+		e.round = r + 1
+		e.rounds++
+		if stop != nil && (pollEvery == 0 || r >= lastPoll+pollEvery) {
+			lastPoll = r
+			if stop(r) {
+				return e.round
+			}
+		}
+	}
+}

@@ -1,0 +1,353 @@
+package sim
+
+import (
+	"cmp"
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"authradio/internal/radio"
+)
+
+// This file is the round resolver: the default RoundDriver. Phase A
+// (Begin) wakes the round's devices through the Caller and folds their
+// steps into transmissions, listeners, tx counts and follow-up
+// wake-ups; phase B (Deliver) resolves the channel for every listener,
+// choosing between the linear scan, the spatial transmission index, and
+// the cell-sharded candidate path. All bookkeeping lives here so that
+// every transport behind the seam shares it bit for bit.
+
+// minIndexedTxs is the round density below which building the spatial
+// transmission index costs more than the linear scans it saves.
+const minIndexedTxs = 16
+
+// resolver implements RoundDriver. Per-round scratch is reused across
+// rounds, keeping the hot loops allocation-free after warm-up.
+type resolver struct {
+	e    *Engine
+	call Caller
+	// direct is true when call is the in-process directCaller; the hot
+	// loops then bypass the Caller dispatch so the sim path costs
+	// exactly what it did before the seam existed.
+	direct bool
+
+	steps     []Step
+	txs       []radio.Tx
+	listenIxs []int32
+	txSet     radio.TxSet
+	cellIdx   []int32     // listener -> spatial cell
+	cellStart []int32     // cell -> offset into cellOrder (CSR)
+	cellOrder []int32     // listener indices grouped by cell
+	shardEnd  []int32     // phase-B shard -> exclusive end cell
+	obsRec    []radio.Obs // index -> observation (only when a hook is set)
+}
+
+// Begin runs phase A: wake devices, collect steps, fold transmissions
+// and listeners, and schedule next wakes.
+func (v *resolver) Begin(r uint64, wakes []int32) {
+	e := v.e
+	if cap(v.steps) < len(wakes) {
+		v.steps = make([]Step, len(wakes))
+	}
+	steps := v.steps[:len(wakes)]
+	if v.direct {
+		v.parallelDo(len(wakes), func(i int) {
+			steps[i] = e.devices[wakes[i]].Wake(r)
+		})
+	} else {
+		v.parallelDo(len(wakes), func(i int) {
+			steps[i] = v.call.Wake(wakes[i], r)
+		})
+	}
+
+	// Collect transmissions and listeners, and schedule next wakes.
+	v.txs = v.txs[:0]
+	v.listenIxs = v.listenIxs[:0]
+	srcSorted := true
+	lastSrc := math.MinInt
+	for i, st := range steps {
+		ix := wakes[i]
+		switch st.Action {
+		case Transmit:
+			f := st.Frame
+			f.Src = e.ids[ix]
+			if f.Src < lastSrc {
+				srcSorted = false
+			}
+			lastSrc = f.Src
+			v.txs = append(v.txs, radio.Tx{Pos: e.pos[ix], Frame: f})
+			e.txCount[ix]++
+		case Listen:
+			v.listenIxs = append(v.listenIxs, ix)
+		}
+		if st.NextWake != NoWake {
+			if st.NextWake <= r {
+				panic(fmt.Sprintf("sim: device %d scheduled non-future wake %d at round %d", e.ids[ix], st.NextWake, r))
+			}
+			e.schedule(ix, st.NextWake)
+		}
+	}
+	// Canonical transmission order: ascending transmitter id,
+	// independent of wake bucketing. Media accumulate interference in
+	// transmission order, so this keeps observations (and OnRound
+	// traces) bit-for-bit identical across calendar knobs. Wake order
+	// usually is id order already, making the check free.
+	if !srcSorted {
+		slices.SortFunc(v.txs, func(a, b radio.Tx) int { return cmp.Compare(a.Frame.Src, b.Frame.Src) })
+	}
+}
+
+// Collect returns the transmissions folded by the preceding Begin.
+func (v *resolver) Collect(r uint64) []radio.Tx { return v.txs }
+
+// Deliver runs phase B: resolve the channel for each listener. For
+// dense rounds over an indexed medium, bucket the transmissions into a
+// spatial hash once and share it across all listeners, so each listener
+// examines only transmissions within sense range instead of the whole
+// round: O(listeners × local) instead of O(listeners × txs). All paths
+// produce bit-for-bit identical observations (media are pure functions
+// of (round, listener, txs)).
+func (v *resolver) Deliver(r uint64, hook ObsHook) {
+	if len(v.listenIxs) == 0 {
+		return
+	}
+	var rec []radio.Obs
+	if hook != nil {
+		if cap(v.obsRec) < len(v.e.devices) {
+			v.obsRec = make([]radio.Obs, len(v.e.devices))
+		}
+		rec = v.obsRec[:len(v.e.devices)]
+	}
+	v.resolve(r, rec)
+	if hook != nil {
+		// Emit sequentially in listener wake order so rx traces are
+		// stable no matter which delivery path or worker count
+		// resolved the round.
+		for _, ix := range v.listenIxs {
+			hook(r, v.e.ids[ix], rec[ix])
+		}
+	}
+}
+
+// deliverTo forwards one observation to its listener and records it
+// when an observation hook is active this round.
+func (v *resolver) deliverTo(rec []radio.Obs, ix int32, r uint64, obs radio.Obs) {
+	if v.direct {
+		v.e.devices[ix].Deliver(r, obs)
+	} else {
+		v.call.Deliver(ix, r, obs)
+	}
+	if rec != nil {
+		rec[ix] = obs
+	}
+}
+
+// resolve picks the channel-resolution path for the round's listeners.
+func (v *resolver) resolve(r uint64, rec []radio.Obs) {
+	e := v.e
+	listeners := v.listenIxs
+	txs := v.txs
+	if !e.DisableIndex && len(txs) >= minIndexedTxs {
+		// Index only for finite sense ranges: an unbounded medium gains
+		// nothing from spatial bucketing.
+		if sr := e.Medium.SenseRange(); sr > 0 && !math.IsInf(sr, 1) {
+			if cm, ok := e.Medium.(radio.CandidateMedium); ok && !e.flatDelivery {
+				v.txSet.Reset(txs, sr)
+				v.deliverCells(r, cm, sr*radio.SenseMargin, rec)
+				return
+			}
+			if im, ok := e.Medium.(radio.IndexedMedium); ok {
+				v.txSet.Reset(txs, sr)
+				v.parallelDo(len(listeners), func(j int) {
+					ix := listeners[j]
+					v.deliverTo(rec, ix, r, im.ObserveSet(r, e.ids[ix], e.pos[ix], &v.txSet))
+				})
+				return
+			}
+		}
+	}
+	v.parallelDo(len(listeners), func(j int) {
+		ix := listeners[j]
+		v.deliverTo(rec, ix, r, e.Medium.Observe(r, e.ids[ix], e.pos[ix], txs))
+	})
+}
+
+// shardTarget is the number of listeners a phase-B shard aims for:
+// small enough that work stealing can rebalance around expensive cells,
+// large enough to amortize the steal.
+const shardTarget = 64
+
+// candPool recycles candidate buffers across the workers of concurrent
+// engines.
+var candPool = sync.Pool{New: func() interface{} { return new([]int32) }}
+
+// deliverCells resolves the round's listeners in spatial-cell order:
+// listeners are grouped by the transmission index's cells (counting
+// sort, allocation-free after warm-up), one sorted candidate superset
+// is gathered per cell and shared by every listener in it, and cells
+// are packed into contiguous shards claimed by workers through an
+// atomic cursor. Nearby listeners therefore share both the candidate
+// gather and its cache lines, and a jammed (expensive) region is split
+// across many shards instead of serializing one worker's chunk.
+func (v *resolver) deliverCells(r uint64, cm radio.CandidateMedium, queryR float64, rec []radio.Obs) {
+	e := v.e
+	listeners := v.listenIxs
+	txs := v.txs
+	nl := len(listeners)
+	cells := v.txSet.Cells()
+
+	// Counting sort of listeners by cell, building the CSR offsets.
+	if cap(v.cellStart) < cells+1 {
+		v.cellStart = make([]int32, cells+1)
+	}
+	cs := v.cellStart[:cells+1]
+	for i := range cs {
+		cs[i] = 0
+	}
+	if cap(v.cellIdx) < nl {
+		v.cellIdx = make([]int32, nl)
+	}
+	ci := v.cellIdx[:nl]
+	for j, ix := range listeners {
+		c := int32(v.txSet.CellOf(e.pos[ix]))
+		ci[j] = c
+		cs[c+1]++
+	}
+	for c := 1; c <= cells; c++ {
+		cs[c] += cs[c-1]
+	}
+	if cap(v.cellOrder) < nl {
+		v.cellOrder = make([]int32, nl)
+	}
+	ord := v.cellOrder[:nl]
+	for j, ix := range listeners {
+		c := ci[j]
+		ord[cs[c]] = ix
+		cs[c]++
+	}
+	for c := cells; c > 0; c-- {
+		cs[c] = cs[c-1]
+	}
+	cs[0] = 0
+
+	// Pack cells into contiguous shards of ~shardTarget listeners.
+	v.shardEnd = v.shardEnd[:0]
+	cut := int32(0)
+	for c := 0; c < cells; c++ {
+		if cs[c+1]-cut >= shardTarget {
+			v.shardEnd = append(v.shardEnd, int32(c+1))
+			cut = cs[c+1]
+		}
+	}
+	if cut < int32(nl) {
+		v.shardEnd = append(v.shardEnd, int32(cells))
+	}
+
+	runShard := func(s int, cand *[]int32) {
+		lo := int32(0)
+		if s > 0 {
+			lo = v.shardEnd[s-1]
+		}
+		for c := lo; c < v.shardEnd[s]; c++ {
+			a, b := cs[c], cs[c+1]
+			if a == b {
+				continue
+			}
+			// One candidate gather per cell, over the bounding box of
+			// the cell's listeners (their positions may clamp into a
+			// border cell from outside the grid).
+			pmin := e.pos[ord[a]]
+			pmax := pmin
+			for _, ix := range ord[a+1 : b] {
+				p := e.pos[ix]
+				pmin.X = math.Min(pmin.X, p.X)
+				pmin.Y = math.Min(pmin.Y, p.Y)
+				pmax.X = math.Max(pmax.X, p.X)
+				pmax.Y = math.Max(pmax.Y, p.Y)
+			}
+			*cand = v.txSet.GatherBox((*cand)[:0], pmin, pmax, queryR)
+			for _, ix := range ord[a:b] {
+				v.deliverTo(rec, ix, r, cm.ObserveCand(r, e.ids[ix], e.pos[ix], txs, *cand))
+			}
+		}
+	}
+
+	shards := len(v.shardEnd)
+	w := e.Workers
+	if w > shards {
+		w = shards
+	}
+	if w <= 1 {
+		bufp := candPool.Get().(*[]int32)
+		for s := 0; s < shards; s++ {
+			runShard(s, bufp)
+		}
+		candPool.Put(bufp)
+		return
+	}
+	var cursor atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			bufp := candPool.Get().(*[]int32)
+			for {
+				s := int(cursor.Add(1)) - 1
+				if s >= shards {
+					break
+				}
+				runShard(s, bufp)
+			}
+			candPool.Put(bufp)
+		}()
+	}
+	wg.Wait()
+}
+
+// parallelDo runs f(i) for i in [0,n), fanning out across Workers
+// goroutines when configured and n is large enough to amortize the
+// synchronization cost. Workers claim fixed-size index blocks through
+// an atomic cursor, so uneven per-index cost rebalances across workers
+// instead of stretching one pre-assigned chunk.
+func (v *resolver) parallelDo(n int, f func(int)) {
+	const (
+		minPerWorker = 16
+		blockSize    = 16
+	)
+	w := v.e.Workers
+	if w > n/minPerWorker {
+		w = n / minPerWorker
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	blocks := (n + blockSize - 1) / blockSize
+	var cursor atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(cursor.Add(1)) - 1
+				if b >= blocks {
+					return
+				}
+				end := (b + 1) * blockSize
+				if end > n {
+					end = n
+				}
+				for i := b * blockSize; i < end; i++ {
+					f(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

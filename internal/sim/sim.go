@@ -10,13 +10,22 @@
 // device is scheduled, which is what makes 4000-node, million-round
 // simulations practical.
 //
-// Rounds resolve in two phases. Phase A calls Wake on every scheduled
-// device and collects the actions; phase B resolves the channel and
-// calls Deliver on every listener. Both phases are data-parallel across
-// devices and the engine optionally fans them out over a worker pool
-// with a work-stealing cursor, so hot spots (for example jammed
-// regions, whose listeners are expensive to resolve) do not serialize
-// one worker's chunk.
+// The engine is split along a transport seam (see driver.go):
+//
+//   - The round clock (clock.go) owns wake scheduling — a bucketed
+//     wheel with a sorted spill list, or the legacy map+heap calendar —
+//     plus stop conditions and per-round wake deduplication.
+//   - The round resolver (resolver.go) owns round resolution: phase A
+//     calls Wake on every scheduled device and collects the actions;
+//     phase B resolves the channel and calls Deliver on every listener.
+//     It is the default RoundDriver implementation; alternative
+//     transports (for example internal/medium/net's UDP loopback) plug
+//     in behind the same interface via UseTransport.
+//
+// Both phases are data-parallel across devices and the engine
+// optionally fans them out over a worker pool with a work-stealing
+// cursor, so hot spots (for example jammed regions, whose listeners are
+// expensive to resolve) do not serialize one worker's chunk.
 //
 // The engine's hot loops are index-based and allocation-free after
 // warm-up. Devices get a compact index at Add; wake scheduling, step
@@ -37,13 +46,7 @@
 package sim
 
 import (
-	"cmp"
-	"container/heap"
 	"fmt"
-	"math"
-	"slices"
-	"sync"
-	"sync/atomic"
 
 	"authradio/internal/geom"
 	"authradio/internal/radio"
@@ -91,36 +94,6 @@ type Device interface {
 	Deliver(r uint64, obs radio.Obs)
 }
 
-// roundHeap is a min-heap of scheduled round numbers.
-type roundHeap []uint64
-
-func (h roundHeap) Len() int            { return len(h) }
-func (h roundHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h roundHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *roundHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
-func (h *roundHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
-}
-
-// wheelSize is the number of round buckets in the wake wheel, a power
-// of two covering every built-in schedule cycle (the longest
-// NeighborWatchRB cycles are a few thousand rounds); wake-ups further
-// out spill to the sorted overflow list.
-const (
-	wheelSize = 4096
-	wheelMask = wheelSize - 1
-)
-
-// spillEntry is one far-future wake-up waiting outside the wheel window.
-type spillEntry struct {
-	round uint64
-	ix    int32
-}
-
 // Engine drives a set of devices over a shared medium.
 type Engine struct {
 	Medium radio.Medium
@@ -132,6 +105,12 @@ type Engine struct {
 	// the transmissions of that round (for tracing). Transmissions are
 	// in ascending transmitter-id order.
 	OnRound func(r uint64, txs []radio.Tx)
+	// OnDeliver, if non-nil, is passed to the round driver's Deliver
+	// and invoked once per listener observation, in listener wake
+	// order, after the round's channel has been resolved (for rx
+	// tracing). The order is deterministic across delivery paths and
+	// worker counts.
+	OnDeliver ObsHook
 	// DisableIndex forces the legacy O(listeners × transmissions)
 	// linear channel resolution even when the medium supports indexed
 	// observation. The indexed path produces identical observations;
@@ -171,17 +150,13 @@ type Engine struct {
 	round  uint64 // next round to execute
 	rounds uint64 // rounds actually resolved (non-empty)
 
-	// Per-round scratch, reused across rounds.
+	// Per-round wake deduplication scratch (clock side).
 	wakeStamp []int64 // index -> r+1 of the last round the device woke in
 	wakeIxs   []int32
-	steps     []Step
-	txs       []radio.Tx
-	listenIxs []int32
-	txSet     radio.TxSet
-	cellIdx   []int32 // listener -> spatial cell
-	cellStart []int32 // cell -> offset into cellOrder (CSR)
-	cellOrder []int32 // listener indices grouped by cell
-	shardEnd  []int32 // phase-B shard -> exclusive end cell
+
+	// drv resolves rounds; nil selects the default in-process resolver
+	// on first use (see UseTransport).
+	drv RoundDriver
 
 	// flatDelivery forces phase B to iterate listeners in wake order
 	// with per-listener spatial queries even when the medium supports
@@ -219,6 +194,11 @@ func (e *Engine) Add(d Device, firstWake uint64) {
 // Devices returns the number of registered devices.
 func (e *Engine) Devices() int { return len(e.devices) }
 
+// DeviceAt returns the device with compact index ix (0 <= ix <
+// Devices(), in Add order). Transports use it to hand each device to
+// the endpoint that hosts it.
+func (e *Engine) DeviceAt(ix int) Device { return e.devices[ix] }
+
 // Round returns the next round number to be executed.
 func (e *Engine) Round() uint64 { return e.round }
 
@@ -235,476 +215,4 @@ func (e *Engine) TotalTx() uint64 {
 		t += c
 	}
 	return t
-}
-
-// schedule queues device index ix for round r (NoWake is a no-op).
-func (e *Engine) schedule(ix int32, r uint64) {
-	if r == NoWake {
-		return
-	}
-	if e.DisableWheel {
-		if e.calendar == nil {
-			e.calendar = make(map[uint64][]int32)
-		}
-		if _, ok := e.calendar[r]; !ok {
-			heap.Push(&e.heap, r)
-		}
-		e.calendar[r] = append(e.calendar[r], ix)
-		return
-	}
-	if r < e.wheelBase {
-		// A wake-up behind the wheel window (only possible by Adding a
-		// device with a past firstWake between runs): rewind the wheel
-		// by dumping it into the spill and re-basing.
-		e.rebaseTo(r)
-	}
-	if r < e.wheelBase+wheelSize {
-		slot := r & wheelMask
-		e.wheel[slot] = append(e.wheel[slot], ix)
-		e.wheelCount++
-		return
-	}
-	if e.spillSorted && len(e.spill) > 0 && r < e.spill[len(e.spill)-1].round {
-		e.spillSorted = false
-	}
-	if len(e.spill) == 0 || r < e.spillMin {
-		e.spillMin = r
-	}
-	e.spill = append(e.spill, spillEntry{round: r, ix: ix})
-}
-
-// rebaseTo empties the wheel into the spill and restarts the window at
-// round r. Cold path: only reachable by scheduling behind the window.
-func (e *Engine) rebaseTo(r uint64) {
-	for slot, b := range e.wheel {
-		if len(b) == 0 {
-			continue
-		}
-		// Reconstruct each entry's absolute round from its slot.
-		round := e.wheelBase + (uint64(slot)-e.wheelBase)&wheelMask
-		for _, ix := range b {
-			e.spill = append(e.spill, spillEntry{round: round, ix: ix})
-		}
-		e.wheel[slot] = b[:0]
-	}
-	e.wheelCount = 0
-	e.spillSorted = false
-	if len(e.spill) > 0 {
-		e.spillMin = e.spill[0].round
-		for _, en := range e.spill[1:] {
-			if en.round < e.spillMin {
-				e.spillMin = en.round
-			}
-		}
-		if r < e.spillMin {
-			e.spillMin = r
-		}
-	} else {
-		e.spillMin = r
-	}
-	e.wheelBase = r
-}
-
-// sortSpill establishes the spill's round order. The sort is stable so
-// that same-round wake-ups fire in scheduling order, exactly like the
-// calendar path.
-func (e *Engine) sortSpill() {
-	if !e.spillSorted {
-		slices.SortStableFunc(e.spill, func(a, b spillEntry) int { return cmp.Compare(a.round, b.round) })
-		e.spillSorted = true
-	}
-}
-
-// unspill moves every spill entry inside the current wheel window into
-// its bucket. The spill must be sorted.
-func (e *Engine) unspill() {
-	end := e.wheelBase + wheelSize
-	n := 0
-	for ; n < len(e.spill) && e.spill[n].round < end; n++ {
-		en := e.spill[n]
-		slot := en.round & wheelMask
-		e.wheel[slot] = append(e.wheel[slot], en.ix)
-		e.wheelCount++
-	}
-	if n > 0 {
-		rest := copy(e.spill, e.spill[n:])
-		e.spill = e.spill[:rest]
-	}
-	if len(e.spill) > 0 {
-		e.spillMin = e.spill[0].round
-	}
-}
-
-// wheelNext returns the earliest wheel-scheduled round, migrating spill
-// entries into the window as it comes within reach, and advances
-// wheelBase past empty buckets so repeated peeks are O(1).
-func (e *Engine) wheelNext() (uint64, bool) {
-	if e.wheelCount == 0 {
-		if len(e.spill) == 0 {
-			return 0, false
-		}
-		e.sortSpill()
-		e.wheelBase = e.spill[0].round
-		e.unspill()
-	} else if len(e.spill) > 0 && e.spillMin < e.wheelBase+wheelSize {
-		e.sortSpill()
-		e.unspill()
-	}
-	for r := e.wheelBase; ; r++ {
-		if len(e.wheel[r&wheelMask]) > 0 {
-			e.wheelBase = r
-			return r, true
-		}
-	}
-}
-
-// nextRound peeks the earliest scheduled round across both calendar
-// structures.
-func (e *Engine) nextRound() (uint64, bool) {
-	r, ok := e.wheelNext()
-	if len(e.heap) > 0 && (!ok || e.heap[0] < r) {
-		return e.heap[0], true
-	}
-	return r, ok
-}
-
-// Stop functions are polled between rounds; returning true ends the run.
-type Stop func(round uint64) bool
-
-// RunUntil executes rounds until stop returns true, the calendar
-// empties, or maxRound is reached. stop is polled at least every
-// pollEvery rounds of simulated time (pollEvery 0 means poll after every
-// resolved round). It returns the round at which execution stopped.
-func (e *Engine) RunUntil(stop Stop, pollEvery, maxRound uint64) uint64 {
-	lastPoll := uint64(0)
-	for {
-		r, ok := e.nextRound()
-		if !ok {
-			return e.round
-		}
-		if r >= maxRound {
-			e.round = maxRound
-			return maxRound
-		}
-		// Detach the round's wake buckets. The wheel bucket's backing
-		// array is reattached (emptied) after the round: new wake-ups
-		// for round r+wheelSize spill rather than landing in the
-		// detached slot, so the array is free for reuse.
-		var wbkt, hbkt []int32
-		slot := -1
-		if len(e.wheel[r&wheelMask]) > 0 && r == e.wheelBase {
-			slot = int(r & wheelMask)
-			wbkt = e.wheel[slot]
-			e.wheel[slot] = nil
-			e.wheelCount -= len(wbkt)
-		}
-		if len(e.heap) > 0 && e.heap[0] == r {
-			heap.Pop(&e.heap)
-			hbkt = e.calendar[r]
-			delete(e.calendar, r)
-		}
-		e.round = r
-		e.execRound(r, wbkt, hbkt)
-		if slot >= 0 {
-			e.wheel[slot] = wbkt[:0]
-		}
-		e.round = r + 1
-		e.rounds++
-		if stop != nil && (pollEvery == 0 || r >= lastPoll+pollEvery) {
-			lastPoll = r
-			if stop(r) {
-				return e.round
-			}
-		}
-	}
-}
-
-// minIndexedTxs is the round density below which building the spatial
-// transmission index costs more than the linear scans it saves.
-const minIndexedTxs = 16
-
-// execRound resolves one round for the device indices in the given
-// buckets (either may be nil and both may contain duplicates).
-func (e *Engine) execRound(r uint64, bkt1, bkt2 []int32) {
-	// Deduplicate wake-ups with a per-device epoch stamp: a device is
-	// woken at most once per round no matter how often it was
-	// scheduled. Rounds are strictly increasing, so the stamp r+1 can
-	// never collide with a stale one.
-	stamp := int64(r + 1)
-	e.wakeIxs = e.wakeIxs[:0]
-	for _, bkt := range [2][]int32{bkt1, bkt2} {
-		for _, ix := range bkt {
-			if e.wakeStamp[ix] != stamp {
-				e.wakeStamp[ix] = stamp
-				e.wakeIxs = append(e.wakeIxs, ix)
-			}
-		}
-	}
-	wakes := e.wakeIxs
-
-	// Phase A: wake devices, collect steps.
-	if cap(e.steps) < len(wakes) {
-		e.steps = make([]Step, len(wakes))
-	}
-	steps := e.steps[:len(wakes)]
-	e.parallelDo(len(wakes), func(i int) {
-		steps[i] = e.devices[wakes[i]].Wake(r)
-	})
-
-	// Collect transmissions and listeners, and schedule next wakes.
-	e.txs = e.txs[:0]
-	e.listenIxs = e.listenIxs[:0]
-	srcSorted := true
-	lastSrc := math.MinInt
-	for i, st := range steps {
-		ix := wakes[i]
-		switch st.Action {
-		case Transmit:
-			f := st.Frame
-			f.Src = e.ids[ix]
-			if f.Src < lastSrc {
-				srcSorted = false
-			}
-			lastSrc = f.Src
-			e.txs = append(e.txs, radio.Tx{Pos: e.pos[ix], Frame: f})
-			e.txCount[ix]++
-		case Listen:
-			e.listenIxs = append(e.listenIxs, ix)
-		}
-		if st.NextWake != NoWake {
-			if st.NextWake <= r {
-				panic(fmt.Sprintf("sim: device %d scheduled non-future wake %d at round %d", e.ids[ix], st.NextWake, r))
-			}
-			e.schedule(ix, st.NextWake)
-		}
-	}
-	// Canonical transmission order: ascending transmitter id,
-	// independent of wake bucketing. Media accumulate interference in
-	// transmission order, so this keeps observations (and OnRound
-	// traces) bit-for-bit identical across calendar knobs. Wake order
-	// usually is id order already, making the check free.
-	if !srcSorted {
-		slices.SortFunc(e.txs, func(a, b radio.Tx) int { return cmp.Compare(a.Frame.Src, b.Frame.Src) })
-	}
-
-	// Phase B: resolve the channel for each listener. For dense rounds
-	// over an indexed medium, bucket the transmissions into a spatial
-	// hash once and share it across all listeners, so each listener
-	// examines only transmissions within sense range instead of the
-	// whole round: O(listeners × local) instead of O(listeners × txs).
-	// All paths produce bit-for-bit identical observations (media are
-	// pure functions of (round, listener, txs)).
-	if len(e.listenIxs) > 0 {
-		e.deliver(r)
-	}
-
-	if e.OnRound != nil {
-		e.OnRound(r, e.txs)
-	}
-}
-
-// deliver runs phase B for the round's listeners.
-func (e *Engine) deliver(r uint64) {
-	listeners := e.listenIxs
-	txs := e.txs
-	if !e.DisableIndex && len(txs) >= minIndexedTxs {
-		// Index only for finite sense ranges: an unbounded medium gains
-		// nothing from spatial bucketing.
-		if sr := e.Medium.SenseRange(); sr > 0 && !math.IsInf(sr, 1) {
-			if cm, ok := e.Medium.(radio.CandidateMedium); ok && !e.flatDelivery {
-				e.txSet.Reset(txs, sr)
-				e.deliverCells(r, cm, sr*radio.SenseMargin)
-				return
-			}
-			if im, ok := e.Medium.(radio.IndexedMedium); ok {
-				e.txSet.Reset(txs, sr)
-				e.parallelDo(len(listeners), func(j int) {
-					ix := listeners[j]
-					e.devices[ix].Deliver(r, im.ObserveSet(r, e.ids[ix], e.pos[ix], &e.txSet))
-				})
-				return
-			}
-		}
-	}
-	e.parallelDo(len(listeners), func(j int) {
-		ix := listeners[j]
-		e.devices[ix].Deliver(r, e.Medium.Observe(r, e.ids[ix], e.pos[ix], txs))
-	})
-}
-
-// shardTarget is the number of listeners a phase-B shard aims for:
-// small enough that work stealing can rebalance around expensive cells,
-// large enough to amortize the steal.
-const shardTarget = 64
-
-// candPool recycles candidate buffers across the workers of concurrent
-// engines.
-var candPool = sync.Pool{New: func() interface{} { return new([]int32) }}
-
-// deliverCells resolves the round's listeners in spatial-cell order:
-// listeners are grouped by the transmission index's cells (counting
-// sort, allocation-free after warm-up), one sorted candidate superset
-// is gathered per cell and shared by every listener in it, and cells
-// are packed into contiguous shards claimed by workers through an
-// atomic cursor. Nearby listeners therefore share both the candidate
-// gather and its cache lines, and a jammed (expensive) region is split
-// across many shards instead of serializing one worker's chunk.
-func (e *Engine) deliverCells(r uint64, cm radio.CandidateMedium, queryR float64) {
-	listeners := e.listenIxs
-	txs := e.txs
-	nl := len(listeners)
-	cells := e.txSet.Cells()
-
-	// Counting sort of listeners by cell, building the CSR offsets.
-	if cap(e.cellStart) < cells+1 {
-		e.cellStart = make([]int32, cells+1)
-	}
-	cs := e.cellStart[:cells+1]
-	for i := range cs {
-		cs[i] = 0
-	}
-	if cap(e.cellIdx) < nl {
-		e.cellIdx = make([]int32, nl)
-	}
-	ci := e.cellIdx[:nl]
-	for j, ix := range listeners {
-		c := int32(e.txSet.CellOf(e.pos[ix]))
-		ci[j] = c
-		cs[c+1]++
-	}
-	for c := 1; c <= cells; c++ {
-		cs[c] += cs[c-1]
-	}
-	if cap(e.cellOrder) < nl {
-		e.cellOrder = make([]int32, nl)
-	}
-	ord := e.cellOrder[:nl]
-	for j, ix := range listeners {
-		c := ci[j]
-		ord[cs[c]] = ix
-		cs[c]++
-	}
-	for c := cells; c > 0; c-- {
-		cs[c] = cs[c-1]
-	}
-	cs[0] = 0
-
-	// Pack cells into contiguous shards of ~shardTarget listeners.
-	e.shardEnd = e.shardEnd[:0]
-	cut := int32(0)
-	for c := 0; c < cells; c++ {
-		if cs[c+1]-cut >= shardTarget {
-			e.shardEnd = append(e.shardEnd, int32(c+1))
-			cut = cs[c+1]
-		}
-	}
-	if cut < int32(nl) {
-		e.shardEnd = append(e.shardEnd, int32(cells))
-	}
-
-	runShard := func(s int, cand *[]int32) {
-		lo := int32(0)
-		if s > 0 {
-			lo = e.shardEnd[s-1]
-		}
-		for c := lo; c < e.shardEnd[s]; c++ {
-			a, b := cs[c], cs[c+1]
-			if a == b {
-				continue
-			}
-			// One candidate gather per cell, over the bounding box of
-			// the cell's listeners (their positions may clamp into a
-			// border cell from outside the grid).
-			pmin := e.pos[ord[a]]
-			pmax := pmin
-			for _, ix := range ord[a+1 : b] {
-				p := e.pos[ix]
-				pmin.X = math.Min(pmin.X, p.X)
-				pmin.Y = math.Min(pmin.Y, p.Y)
-				pmax.X = math.Max(pmax.X, p.X)
-				pmax.Y = math.Max(pmax.Y, p.Y)
-			}
-			*cand = e.txSet.GatherBox((*cand)[:0], pmin, pmax, queryR)
-			for _, ix := range ord[a:b] {
-				e.devices[ix].Deliver(r, cm.ObserveCand(r, e.ids[ix], e.pos[ix], txs, *cand))
-			}
-		}
-	}
-
-	shards := len(e.shardEnd)
-	w := e.Workers
-	if w > shards {
-		w = shards
-	}
-	if w <= 1 {
-		bufp := candPool.Get().(*[]int32)
-		for s := 0; s < shards; s++ {
-			runShard(s, bufp)
-		}
-		candPool.Put(bufp)
-		return
-	}
-	var cursor atomic.Int32
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		go func() {
-			defer wg.Done()
-			bufp := candPool.Get().(*[]int32)
-			for {
-				s := int(cursor.Add(1)) - 1
-				if s >= shards {
-					break
-				}
-				runShard(s, bufp)
-			}
-			candPool.Put(bufp)
-		}()
-	}
-	wg.Wait()
-}
-
-// parallelDo runs f(i) for i in [0,n), fanning out across Workers
-// goroutines when configured and n is large enough to amortize the
-// synchronization cost. Workers claim fixed-size index blocks through
-// an atomic cursor, so uneven per-index cost rebalances across workers
-// instead of stretching one pre-assigned chunk.
-func (e *Engine) parallelDo(n int, f func(int)) {
-	const (
-		minPerWorker = 16
-		blockSize    = 16
-	)
-	w := e.Workers
-	if w > n/minPerWorker {
-		w = n / minPerWorker
-	}
-	if w <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	blocks := (n + blockSize - 1) / blockSize
-	var cursor atomic.Int32
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		go func() {
-			defer wg.Done()
-			for {
-				b := int(cursor.Add(1)) - 1
-				if b >= blocks {
-					return
-				}
-				end := (b + 1) * blockSize
-				if end > n {
-					end = n
-				}
-				for i := b * blockSize; i < end; i++ {
-					f(i)
-				}
-			}
-		}()
-	}
-	wg.Wait()
 }

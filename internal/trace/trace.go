@@ -1,12 +1,18 @@
 // Package trace renders per-round simulation activity as a textual
 // event log for debugging protocol behaviour: which device transmitted
-// what kind of frame in which slot sub-round. The output format is one
-// line per transmission:
+// what kind of frame in which slot sub-round, and — when the
+// observation hook is attached — what each listener heard. The output
+// format is one line per event:
 //
 //	round=1234 cycle=2 slot=5 sub=3 dev=17 kind=ack
+//	round=1234 cycle=2 slot=5 sub=3 dev=23 kind=rx obs=ack from=17
 //
-// Traces of full runs are large; Logger supports round windows and a
-// line cap so a trace of "the first two cycles" or "rounds 5000-6000"
+// kind=rx lines come from the engine's deliver hook (one per listener
+// observation, in listener wake order); obs is silence, busy (carrier
+// with no decodable frame, i.e. a collision or jam), or the decoded
+// frame's kind and source. Traces of full runs are large; Logger
+// supports round windows and a line cap — shared across both event
+// kinds — so a trace of "the first two cycles" or "rounds 5000-6000"
 // stays manageable.
 package trace
 
@@ -18,7 +24,8 @@ import (
 	"authradio/internal/schedule"
 )
 
-// Logger writes transmission events within a round window.
+// Logger writes transmission and observation events within a round
+// window.
 type Logger struct {
 	W io.Writer
 	// Cycle, if non-zero, annotates rounds with (cycle, slot, sub).
@@ -26,35 +33,77 @@ type Logger struct {
 	// From/To bound the logged rounds (inclusive; To 0 = unbounded).
 	From, To uint64
 	// MaxLines caps output (0 = unlimited); a final "truncated" marker
-	// is emitted once when the cap is hit.
+	// is emitted once when the cap is hit. The budget is shared by
+	// transmission and observation lines.
 	MaxLines int
 
 	lines     int
 	truncated bool
 }
 
+// inWindow reports whether round r falls in the logger's window.
+func (l *Logger) inWindow(r uint64) bool {
+	return r >= l.From && (l.To == 0 || r <= l.To)
+}
+
+// take claims one line of the cap budget, emitting the truncation
+// marker (once) and returning false when the cap is exhausted.
+func (l *Logger) take() bool {
+	if l.MaxLines > 0 && l.lines >= l.MaxLines {
+		if !l.truncated {
+			fmt.Fprintln(l.W, "... trace truncated")
+			l.truncated = true
+		}
+		return false
+	}
+	l.lines++
+	return true
+}
+
+// prefix writes the shared `round=... dev=...` line prefix, with cycle
+// annotations when a cycle is configured.
+func (l *Logger) prefix(r uint64, dev int) {
+	if l.Cycle.NumSlots > 0 {
+		cyc, slot, sub := l.Cycle.At(r)
+		fmt.Fprintf(l.W, "round=%d cycle=%d slot=%d sub=%d dev=%d", r, cyc, slot, sub, dev)
+	} else {
+		fmt.Fprintf(l.W, "round=%d dev=%d", r, dev)
+	}
+}
+
 // Hook returns a function suitable for sim.Engine.OnRound.
 func (l *Logger) Hook() func(r uint64, txs []radio.Tx) {
 	return func(r uint64, txs []radio.Tx) {
-		if r < l.From || (l.To != 0 && r > l.To) || len(txs) == 0 {
+		if !l.inWindow(r) || len(txs) == 0 {
 			return
 		}
 		for i := range txs {
-			if l.MaxLines > 0 && l.lines >= l.MaxLines {
-				if !l.truncated {
-					fmt.Fprintln(l.W, "... trace truncated")
-					l.truncated = true
-				}
+			if !l.take() {
 				return
 			}
-			l.lines++
-			if l.Cycle.NumSlots > 0 {
-				cyc, slot, sub := l.Cycle.At(r)
-				fmt.Fprintf(l.W, "round=%d cycle=%d slot=%d sub=%d dev=%d kind=%s\n",
-					r, cyc, slot, sub, txs[i].Frame.Src, txs[i].Frame.Kind)
-			} else {
-				fmt.Fprintf(l.W, "round=%d dev=%d kind=%s\n", r, txs[i].Frame.Src, txs[i].Frame.Kind)
-			}
+			l.prefix(r, txs[i].Frame.Src)
+			fmt.Fprintf(l.W, " kind=%s\n", txs[i].Frame.Kind)
+		}
+	}
+}
+
+// RxHook returns a function suitable for sim.Engine.OnDeliver (wire it
+// with core.WithDeliverHook): one kind=rx line per listener
+// observation, in the engine's deterministic listener wake order,
+// sharing the logger's window and line budget with Hook.
+func (l *Logger) RxHook() func(r uint64, dev int, obs radio.Obs) {
+	return func(r uint64, dev int, obs radio.Obs) {
+		if !l.inWindow(r) || !l.take() {
+			return
+		}
+		l.prefix(r, dev)
+		switch {
+		case obs.Decoded:
+			fmt.Fprintf(l.W, " kind=rx obs=%s from=%d\n", obs.Frame.Kind, obs.Frame.Src)
+		case obs.Busy:
+			fmt.Fprint(l.W, " kind=rx obs=busy\n")
+		default:
+			fmt.Fprint(l.W, " kind=rx obs=silence\n")
 		}
 	}
 }

@@ -63,6 +63,67 @@ func TestLoggerCap(t *testing.T) {
 	}
 }
 
+func TestLoggerRxFormats(t *testing.T) {
+	var sb strings.Builder
+	l := &Logger{W: &sb, Cycle: schedule.Cycle{NumSlots: 4, SlotLen: 6}}
+	h := l.RxHook()
+	h(0, 9, radio.Silence)
+	h(1, 9, radio.Collision())
+	h(2, 9, radio.Received(radio.Frame{Kind: radio.KindAck, Src: 3}))
+	out := sb.String()
+	for _, want := range []string{
+		"round=0 cycle=0 slot=0 sub=0 dev=9 kind=rx obs=silence",
+		"round=1 cycle=0 slot=0 sub=1 dev=9 kind=rx obs=busy",
+		"round=2 cycle=0 slot=0 sub=2 dev=9 kind=rx obs=ack from=3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	if l.Lines() != 3 {
+		t.Errorf("lines = %d", l.Lines())
+	}
+}
+
+func TestLoggerRxWindow(t *testing.T) {
+	var sb strings.Builder
+	l := &Logger{W: &sb, From: 10, To: 20}
+	h := l.RxHook()
+	h(5, 1, radio.Silence)
+	h(15, 2, radio.Silence)
+	h(25, 3, radio.Silence)
+	out := sb.String()
+	if strings.Contains(out, "dev=1") || strings.Contains(out, "dev=3") {
+		t.Errorf("out-of-window observations logged:\n%s", out)
+	}
+	if !strings.Contains(out, "round=15 dev=2 kind=rx obs=silence") {
+		t.Errorf("in-window observation missing:\n%s", out)
+	}
+}
+
+// TestLoggerSharedCap checks transmission and observation lines draw
+// from one budget, with a single truncation marker.
+func TestLoggerSharedCap(t *testing.T) {
+	var sb strings.Builder
+	l := &Logger{W: &sb, MaxLines: 3}
+	th, rh := l.Hook(), l.RxHook()
+	th(0, []radio.Tx{tx(1, radio.KindData)})
+	rh(0, 2, radio.Collision())
+	th(1, []radio.Tx{tx(1, radio.KindVeto)})
+	rh(1, 2, radio.Silence) // over budget
+	th(2, []radio.Tx{tx(1, radio.KindData)})
+	out := sb.String()
+	if l.Lines() != 3 {
+		t.Errorf("lines = %d, want 3", l.Lines())
+	}
+	if strings.Count(out, "truncated") != 1 {
+		t.Errorf("want exactly one truncation marker:\n%s", out)
+	}
+	if !strings.Contains(out, "obs=busy") || strings.Contains(out, "obs=silence") {
+		t.Errorf("wrong lines survived the cap:\n%s", out)
+	}
+}
+
 func TestLoggerSilentRoundsSkipped(t *testing.T) {
 	var sb strings.Builder
 	l := &Logger{W: &sb}
