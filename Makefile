@@ -6,7 +6,7 @@ test:
 	go build ./... && go test ./...
 
 race:
-	go test -race ./internal/sim/... ./internal/experiment/... ./internal/adversary/... ./internal/medium/...
+	go test -race ./internal/sim/... ./internal/experiment/... ./internal/adversary/... ./internal/medium/... ./internal/faultnet/...
 
 # Regenerate the checked-in golden JSON documents after a change that
 # intentionally moves the numbers (a new family instance, a new ladder

@@ -17,6 +17,14 @@
 // the baseline (new benchmark) or from the current run (deleted
 // benchmark) is reported but never fails — the gate compares, it does
 // not police benchmark existence.
+//
+// Noise policy: a median past the threshold alone is not a verdict on
+// shared CI runners. When both sides carry at least minSamples counts,
+// the gate also demands clear separation — the slowest baseline sample
+// must still beat the fastest current sample. Overlapping ranges are
+// reported as "noisy" and do not fail. With fewer samples there is no
+// range to consult and the median ratio decides alone, so pinning
+// -count (and -benchtime) in CI is what buys the significance check.
 package main
 
 import (
@@ -26,12 +34,17 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
 
 	"authradio/internal/stats"
 )
+
+// minSamples is the per-side sample count from which the gate requires
+// range separation on top of the median ratio.
+const minSamples = 3
 
 func main() {
 	var (
@@ -50,17 +63,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: bad -gate: %v\n", err)
 		os.Exit(2)
 	}
-	oldMed, err := medianFile(*oldPath)
+	oldS, err := sampleFile(*oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
-	newMed, err := medianFile(*newPath)
+	newS, err := sampleFile(*newPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
-	regressed := report(os.Stdout, oldMed, newMed, gateRE, *threshold)
+	regressed := report(os.Stdout, oldS, newS, gateRE, *threshold)
 	if len(regressed) > 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: %d gated benchmark(s) regressed > %.0f%%: %s\n",
 			len(regressed), *threshold*100, strings.Join(regressed, ", "))
@@ -103,9 +116,8 @@ func parseBench(r io.Reader) (map[string][]float64, error) {
 	return samples, sc.Err()
 }
 
-// medianFile reduces each benchmark's samples to its median (robust
-// to the occasional noisy count, unlike a mean).
-func medianFile(path string) (map[string]float64, error) {
+// sampleFile parses one results file into per-benchmark sample sets.
+func sampleFile(path string) (map[string][]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -118,50 +130,65 @@ func medianFile(path string) (map[string]float64, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("%s: no benchmark results found", path)
 	}
-	out := make(map[string]float64, len(samples))
-	for name, s := range samples {
-		out[name] = stats.Median(s)
-	}
-	return out, nil
+	return samples, nil
 }
 
 // report prints one line per benchmark (union of both files, sorted)
-// and returns the gated benchmarks whose median ns/op grew by more
-// than threshold.
-func report(w io.Writer, oldMed, newMed map[string]float64, gate *regexp.Regexp, threshold float64) []string {
-	names := make([]string, 0, len(oldMed)+len(newMed))
-	for n := range oldMed {
+// and returns the gated benchmarks that regressed: median ns/op grew by
+// more than threshold AND — when both sides have minSamples counts —
+// the sample ranges are separated (fastest current sample slower than
+// the slowest baseline sample). Past-threshold medians with overlapping
+// ranges are flagged "noisy" but do not fail.
+func report(w io.Writer, oldS, newS map[string][]float64, gate *regexp.Regexp, threshold float64) []string {
+	names := make([]string, 0, len(oldS)+len(newS))
+	for n := range oldS {
 		names = append(names, n)
 	}
-	for n := range newMed {
-		if _, ok := oldMed[n]; !ok {
+	for n := range newS {
+		if _, ok := oldS[n]; !ok {
 			names = append(names, n)
 		}
 	}
 	sort.Strings(names)
 	var regressed []string
 	for _, n := range names {
-		o, haveOld := oldMed[n]
-		c, haveNew := newMed[n]
+		o, haveOld := oldS[n]
+		c, haveNew := newS[n]
 		tag := "      "
 		if gate.MatchString(n) {
 			tag = "gated "
 		}
 		switch {
 		case !haveOld:
-			fmt.Fprintf(w, "%s%-40s (no baseline)        new %12.0f ns/op\n", tag, n, c)
+			fmt.Fprintf(w, "%s%-40s (no baseline)        new %12.0f ns/op\n", tag, n, stats.Median(c))
 		case !haveNew:
-			fmt.Fprintf(w, "%s%-40s old %12.0f ns/op (not run)\n", tag, n, o)
+			fmt.Fprintf(w, "%s%-40s old %12.0f ns/op (not run)\n", tag, n, stats.Median(o))
 		default:
-			ratio := c / o
+			oldMed, newMed := stats.Median(o), stats.Median(c)
+			ratio := newMed / oldMed
 			verdict := "ok"
 			if gate.MatchString(n) && ratio > 1+threshold {
-				verdict = "REGRESSED"
-				regressed = append(regressed, fmt.Sprintf("%s (%+.1f%%)", n, (ratio-1)*100))
+				if separated(o, c) {
+					verdict = "REGRESSED"
+					regressed = append(regressed, fmt.Sprintf("%s (%+.1f%%)", n, (ratio-1)*100))
+				} else {
+					verdict = "noisy (ranges overlap, not gated)"
+				}
 			}
 			fmt.Fprintf(w, "%s%-40s old %12.0f  new %12.0f ns/op  %+6.1f%%  %s\n",
-				tag, n, o, c, (ratio-1)*100, verdict)
+				tag, n, oldMed, newMed, (ratio-1)*100, verdict)
 		}
 	}
 	return regressed
+}
+
+// separated reports whether the slowdown is significant beyond run
+// noise: with minSamples on both sides, every current sample must be
+// slower than every baseline sample. With fewer samples there is no
+// range to consult and the median verdict stands alone.
+func separated(oldSamples, newSamples []float64) bool {
+	if len(oldSamples) < minSamples || len(newSamples) < minSamples {
+		return true
+	}
+	return slices.Min(newSamples) > slices.Max(oldSamples)
 }

@@ -19,37 +19,33 @@ BenchmarkGoneBench-8         	     100	    100000 ns/op
 PASS
 `
 
-func samples(t *testing.T, text string) map[string]float64 {
+func samples(t *testing.T, text string) map[string][]float64 {
 	t.Helper()
 	raw, err := parseBench(strings.NewReader(text))
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := make(map[string]float64, len(raw))
-	for n, s := range raw {
-		out[n] = stats.Median(s)
-	}
-	return out
+	return raw
 }
 
 func TestParseBenchMedians(t *testing.T) {
-	med := samples(t, oldBench)
-	if len(med) != 3 {
-		t.Fatalf("parsed %d benchmarks: %v", len(med), med)
+	raw := samples(t, oldBench)
+	if len(raw) != 3 {
+		t.Fatalf("parsed %d benchmarks: %v", len(raw), raw)
 	}
 	// The -8 GOMAXPROCS suffix is stripped; three counts reduce to the
 	// middle value.
-	if med["BenchmarkDenseRound4096"] != 2850000 {
-		t.Errorf("dense median %v", med["BenchmarkDenseRound4096"])
+	if med := stats.Median(raw["BenchmarkDenseRound4096"]); med != 2850000 {
+		t.Errorf("dense median %v", med)
 	}
-	if med["BenchmarkSparseCalendar"] != 400000 {
-		t.Errorf("sparse median %v", med["BenchmarkSparseCalendar"])
+	if med := stats.Median(raw["BenchmarkSparseCalendar"]); med != 400000 {
+		t.Errorf("sparse median %v", med)
 	}
 }
 
 func TestReportGate(t *testing.T) {
 	gate := regexp.MustCompile(`^BenchmarkDenseRound`)
-	oldMed := samples(t, oldBench)
+	oldS := samples(t, oldBench)
 
 	// +10% on a gated benchmark: within the 15% budget.
 	within := `BenchmarkDenseRound4096-16   	     100	   3135000 ns/op
@@ -57,7 +53,7 @@ BenchmarkSparseCalendar-16   	    5000	    900000 ns/op
 BenchmarkNewBench-16         	     100	     50000 ns/op
 `
 	var sb strings.Builder
-	regressed := report(&sb, oldMed, samples(t, within), gate, 0.15)
+	regressed := report(&sb, oldS, samples(t, within), gate, 0.15)
 	if len(regressed) != 0 {
 		t.Fatalf("within-threshold run regressed: %v", regressed)
 	}
@@ -70,12 +66,47 @@ BenchmarkNewBench-16         	     100	     50000 ns/op
 		}
 	}
 
-	// +20% on a gated benchmark fails the gate.
+	// +20% on a gated benchmark fails the gate (single current sample:
+	// no range to consult, the median ratio decides).
 	over := `BenchmarkDenseRound4096-16   	     100	   3420000 ns/op
 `
-	regressed = report(&sb, oldMed, samples(t, over), gate, 0.15)
+	regressed = report(&sb, oldS, samples(t, over), gate, 0.15)
 	if len(regressed) != 1 || !strings.Contains(regressed[0], "BenchmarkDenseRound4096") {
 		t.Fatalf("over-threshold run: %v", regressed)
+	}
+}
+
+// TestReportGateNoisePolicy pins the significance rule: with three
+// counts per side, a past-threshold median fails only when the sample
+// ranges are separated; a single fast sample overlapping the baseline
+// range downgrades the verdict to noise.
+func TestReportGateNoisePolicy(t *testing.T) {
+	gate := regexp.MustCompile(`^BenchmarkDenseRound`)
+	oldS := samples(t, oldBench) // dense range [2800000, 2900000]
+
+	// Median +20%, but the fastest current count dips into the baseline
+	// range: noisy, not a regression.
+	noisy := `BenchmarkDenseRound4096-8    	     100	   3420000 ns/op
+BenchmarkDenseRound4096-8    	     100	   3500000 ns/op
+BenchmarkDenseRound4096-8    	     100	   2890000 ns/op
+`
+	var sb strings.Builder
+	if regressed := report(&sb, oldS, samples(t, noisy), gate, 0.15); len(regressed) != 0 {
+		t.Fatalf("overlapping ranges failed the gate: %v", regressed)
+	}
+	if !strings.Contains(sb.String(), "noisy") {
+		t.Fatalf("overlap not reported as noisy:\n%s", sb.String())
+	}
+
+	// Same median, every count past the baseline maximum: regression.
+	clear := `BenchmarkDenseRound4096-8    	     100	   3420000 ns/op
+BenchmarkDenseRound4096-8    	     100	   3500000 ns/op
+BenchmarkDenseRound4096-8    	     100	   3400000 ns/op
+`
+	sb.Reset()
+	regressed := report(&sb, oldS, samples(t, clear), gate, 0.15)
+	if len(regressed) != 1 || !strings.Contains(regressed[0], "BenchmarkDenseRound4096") {
+		t.Fatalf("separated ranges did not fail the gate: %v", regressed)
 	}
 }
 

@@ -19,17 +19,25 @@
 //	rbsim -proto nw -grid 9 -range 2 -spoofers 0.1 -spoofbudget 16
 //	rbsim -proto nw -grid 9 -range 2 -mix liar10+jam10b16
 //	rbsim -proto onehop -grid 4 -range 5 -transport udp
+//	rbsim -proto onehop -grid 3 -range 5 -transport udp -fault drop10+dup5+delay20 -retrytimeout 5ms -retryjitter 0.2
+//	rbsim -proto nw -grid 9 -range 2 -mix churn10o8
 //
 // -mix sets the whole adversary dimension from one compact label
-// (ParseMix's grammar) instead of the individual fraction flags.
-// -transport udp routes every device's round callbacks over real
-// loopback UDP sockets (one endpoint per device) through the
-// sim.RoundDriver seam; results are bit-identical to the in-process
-// transport for the same seed. -tracerx adds kind=rx observation lines
-// to the -trace log.
+// (ParseMix's grammar, including crash-recover churn: -mix churn10o8)
+// instead of the individual fraction flags. -transport udp routes every
+// device's round callbacks over real loopback UDP sockets (one endpoint
+// per device) through the sim.RoundDriver seam; results are
+// bit-identical to the in-process transport for the same seed. Under
+// udp, -fault injects a deterministic fault plan (faultnet grammar,
+// e.g. drop10+dup5+delay20) and the -retry* flags tune the
+// retry/backoff policy; when a device exhausts its retry budget the
+// coordinator declares it crashed, the run degrades gracefully, and
+// rbsim reports the casualties and exits nonzero. -tracerx adds kind=rx
+// observation lines to the -trace log.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +48,7 @@ import (
 
 	"authradio/internal/core"
 	"authradio/internal/experiment"
+	"authradio/internal/faultnet"
 	netmedium "authradio/internal/medium/net"
 	"authradio/internal/metrics"
 	"authradio/internal/trace"
@@ -82,6 +91,14 @@ func main() {
 		traceN   = flag.Int("trace", 0, "log the first N transmissions to stderr")
 		traceRx  = flag.Bool("tracerx", false, "also log listener observations (kind=rx) within the -trace budget")
 		tport    = flag.String("transport", "sim", "round-boundary transport: sim (in-process) or udp (loopback sockets, one endpoint per device)")
+
+		retryTimeout  = flag.Duration("retrytimeout", netmedium.DefaultTimeout, "udp: initial per-request timeout before a retransmit")
+		retryBackoff  = flag.Float64("retrybackoff", netmedium.DefaultBackoff, "udp: timeout multiplier per retry (>= 1)")
+		retryJitter   = flag.Float64("retryjitter", 0, "udp: seeded jitter fraction applied to each timeout (0..1)")
+		retries       = flag.Int("retries", netmedium.DefaultRetries, "udp: retransmits per request before the device is declared crashed")
+		retryDeadline = flag.Duration("retrydeadline", netmedium.DefaultDeadline, "udp: hard wall-clock cap per request across all retries")
+		fault         = flag.String("fault", "", "udp: deterministic fault plan (e.g. drop10+dup5+delay20, or none)")
+		faultSeed     = flag.Uint64("faultseed", 0, "udp: fault plan seed (0 = derive from -seed)")
 	)
 	var params core.ParamFlag
 	flag.Var(&params, "param", "typed driver knob name=value (repeatable; bool/int/float/string inferred, e.g. -param gossip.fanout=3)")
@@ -156,8 +173,45 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown transport %q; want sim or udp\n", *tport)
 		os.Exit(2)
 	}
+	if *tport != "udp" {
+		udpOnly := map[string]bool{
+			"retrytimeout": true, "retrybackoff": true, "retryjitter": true,
+			"retries": true, "retrydeadline": true, "fault": true, "faultseed": true,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if udpOnly[f.Name] {
+				fmt.Fprintf(os.Stderr, "-%s needs -transport udp\n", f.Name)
+				os.Exit(2)
+			}
+		})
+	}
+	var transport *netmedium.Transport
+	if *tport == "udp" {
+		plan, err := faultnet.Parse(*fault)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if plan != nil {
+			plan.Seed = *faultSeed
+			if plan.Seed == 0 {
+				plan.Seed = *seed
+			}
+		}
+		transport = &netmedium.Transport{
+			Retry: netmedium.RetryPolicy{
+				Timeout:  *retryTimeout,
+				Backoff:  *retryBackoff,
+				Jitter:   *retryJitter,
+				Retries:  *retries,
+				Deadline: *retryDeadline,
+				Seed:     *seed,
+			},
+			Faults: plan,
+		}
+	}
 
-	res, coll := runScenario(s, *rep, *stats, *traceN, *traceRx, *tport)
+	res, coll, closeErr := runScenario(s, *rep, *stats, *traceN, *traceRx, transport)
 	fmt.Printf("protocol:        %s\n", drv.Name())
 	fmt.Printf("honest nodes:    %d\n", res.Honest)
 	fmt.Printf("completed:       %d (%.1f%%)\n", res.Complete, 100*res.CompletionFrac())
@@ -166,11 +220,23 @@ func main() {
 	fmt.Printf("last completion: %d\n", res.LastCompletion)
 	fmt.Printf("honest tx:       %d\n", res.HonestTx)
 	fmt.Printf("byzantine tx:    %d\n", res.ByzTx)
+	if res.Components > 1 {
+		fmt.Printf("components:      %d (source's: %d devices, %.1f%% delivery within it)\n",
+			res.Components, res.SrcCompSize, 100*res.SrcDeliveryFrac())
+	}
 	if !res.AllComplete {
 		fmt.Println("note: not all honest nodes completed (disconnected overlay, adversary, or round cap)")
 	}
 	if coll != nil {
 		fmt.Printf("channel:         %s\n", coll)
+	}
+	if closeErr != nil {
+		var crash *netmedium.CrashError
+		if errors.As(closeErr, &crash) {
+			fmt.Fprintf(os.Stderr, "crashed devices (retry budget exhausted): %v\n", crash.Devices)
+		}
+		fmt.Fprintln(os.Stderr, "closing transport:", closeErr)
+		os.Exit(1)
 	}
 }
 
@@ -202,10 +268,13 @@ func protocolList() string {
 // engine-level parallelism enabled (a single scenario run has no
 // repetition fan-out to feed, and worker counts never change results)
 // and optional channel statistics, tracing and a non-default transport
-// attached through build options. The udp transport hosts every device
-// behind its own loopback socket and produces results bit-identical to
-// sim for the same seed (pinned by internal/medium/net's tests).
-func runScenario(s experiment.Scenario, rep int, stats bool, traceN int, traceRx bool, transport string) (core.Result, *metrics.Collector) {
+// attached through build options. The udp transport (transport != nil)
+// hosts every device behind its own loopback socket and produces
+// results bit-identical to sim for the same seed (pinned by
+// internal/medium/net's tests). The returned close error is the
+// transport teardown verdict — a *CrashError inside it names the
+// devices the retry policy gave up on.
+func runScenario(s experiment.Scenario, rep int, stats bool, traceN int, traceRx bool, transport *netmedium.Transport) (core.Result, *metrics.Collector, error) {
 	opts := []core.Option{core.WithWorkers(runtime.GOMAXPROCS(0))}
 	var coll *metrics.Collector
 	if stats {
@@ -220,19 +289,14 @@ func runScenario(s experiment.Scenario, rep int, stats bool, traceN int, traceRx
 			opts = append(opts, core.WithDeliverHook(tl.RxHook()))
 		}
 	}
-	if transport == "udp" {
-		opts = append(opts, core.WithTransport(netmedium.Transport{}))
+	if transport != nil {
+		opts = append(opts, core.WithTransport(*transport))
 	}
 	w, err := s.BuildWorld(rep, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	defer func() {
-		if err := w.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "closing transport:", err)
-		}
-	}()
 	if tl != nil {
 		// The cycle is a product of the build; the hook only reads it
 		// once rounds start.
@@ -242,7 +306,8 @@ func runScenario(s experiment.Scenario, rep int, stats bool, traceN int, traceRx
 	if maxRounds == 0 {
 		maxRounds = defaultMaxRounds
 	}
-	return w.Run(maxRounds), coll
+	res := w.Run(maxRounds)
+	return res, coll, w.Close()
 }
 
 func parseBits(s string) (uint64, error) {

@@ -1,0 +1,121 @@
+package adversary
+
+import (
+	"sort"
+
+	"authradio/internal/geom"
+	"authradio/internal/radio"
+	"authradio/internal/sim"
+	"authradio/internal/xrand"
+)
+
+// DefaultChurnOutage is the default total outage budget of a churning
+// device, in schedule cycles.
+const DefaultChurnOutage = 8
+
+// Churner wraps an honest protocol device with crash-recover churn: the
+// device goes radio-silent for sampled outage windows (it neither
+// transmits nor hears anything — as if it walked out of range), then
+// resumes. The wrapped device's Wake is still called every round it
+// asked for, so its state machine and RNG stream advance exactly as in
+// a churn-free run; only its interaction with the channel is
+// suppressed. That is what lets a recovered device rejoin with correct
+// round state — it never *stopped* running, it stopped being heard.
+//
+// The outage schedule is sampled entirely at construction from the
+// churner's own derived RNG stream, so it is a pure function of the
+// seed: window placement cannot depend on protocol timing, and
+// historical streams of other roles are untouched.
+type Churner struct {
+	inner sim.Device
+
+	// windows are the half-open outage intervals [start, end) in
+	// absolute rounds, sorted and disjoint.
+	windows []churnWindow
+	budget  int
+}
+
+type churnWindow struct{ start, end uint64 }
+
+// NewChurner wraps inner. The churner is up everywhere until Schedule
+// samples its outage windows — two-phase because device registration
+// order is fixed by the driver's build, while the natural outage unit
+// (the schedule cycle) is only known once the driver has finished.
+func NewChurner(inner sim.Device) *Churner {
+	return &Churner{inner: inner}
+}
+
+// Schedule samples an outage schedule totalling budget rounds of
+// downtime, split into windows with mean length meanOutage rounds
+// separated by up-gaps of at least meanOutage rounds. budget <= 0 or
+// meanOutage <= 0 leaves the churner permanently up. Draws come only
+// from rng, so the schedule is a pure function of that stream.
+func (c *Churner) Schedule(budget, meanOutage int, rng *xrand.Rand) {
+	c.budget = budget
+	c.windows = nil
+	if budget <= 0 || meanOutage <= 0 {
+		return
+	}
+	// First outage starts after a full up-gap, so every device is heard
+	// at least once before it can vanish.
+	at := uint64(0)
+	left := budget
+	for left > 0 {
+		gap := uint64(meanOutage + rng.Intn(3*meanOutage+1))
+		length := 1 + rng.Intn(2*meanOutage)
+		if length > left {
+			length = left
+		}
+		start := at + gap
+		end := start + uint64(length)
+		c.windows = append(c.windows, churnWindow{start, end})
+		left -= length
+		at = end
+	}
+}
+
+// ID implements sim.Device.
+func (c *Churner) ID() int { return c.inner.ID() }
+
+// Pos implements sim.Device.
+func (c *Churner) Pos() geom.Point { return c.inner.Pos() }
+
+// Down reports whether the device is inside an outage window at round r.
+func (c *Churner) Down(r uint64) bool {
+	i := sort.Search(len(c.windows), func(i int) bool { return r < c.windows[i].end })
+	return i < len(c.windows) && r >= c.windows[i].start
+}
+
+// Budget returns the total outage budget in rounds.
+func (c *Churner) Budget() int { return c.budget }
+
+// Windows returns the outage intervals as [start, end) round pairs, for
+// tests and metrics.
+func (c *Churner) Windows() [][2]uint64 {
+	out := make([][2]uint64, len(c.windows))
+	for i, w := range c.windows {
+		out[i] = [2]uint64{w.start, w.end}
+	}
+	return out
+}
+
+// Wake implements sim.Device. The inner device always runs (state and
+// RNG advance identically to a churn-free run); a transmit during an
+// outage is silently converted to sleep.
+func (c *Churner) Wake(r uint64) sim.Step {
+	st := c.inner.Wake(r)
+	if st.Action == sim.Transmit && c.Down(r) {
+		st.Action = sim.Sleep
+		st.Frame = radio.Frame{}
+	}
+	return st
+}
+
+// Deliver implements sim.Device. During an outage the device hears
+// silence regardless of what was on the air.
+func (c *Churner) Deliver(r uint64, obs radio.Obs) {
+	if c.Down(r) {
+		obs = radio.Silence
+	}
+	c.inner.Deliver(r, obs)
+}

@@ -1,0 +1,139 @@
+package adversary
+
+import (
+	"testing"
+
+	"authradio/internal/geom"
+	"authradio/internal/radio"
+	"authradio/internal/sim"
+	"authradio/internal/xrand"
+)
+
+// recDevice records every Wake round and delivered observation, and
+// transmits each round — a probe for what the Churner passes through.
+type recDevice struct {
+	id    int
+	wakes []uint64
+	obs   []radio.Obs
+}
+
+func (d *recDevice) ID() int         { return d.id }
+func (d *recDevice) Pos() geom.Point { return geom.Point{} }
+func (d *recDevice) Wake(r uint64) sim.Step {
+	d.wakes = append(d.wakes, r)
+	return sim.Step{Action: sim.Transmit, Frame: radio.Frame{Kind: radio.KindData, Payload: r}, NextWake: r + 1}
+}
+func (d *recDevice) Deliver(_ uint64, o radio.Obs) { d.obs = append(d.obs, o) }
+
+// TestChurnerBudget pins the budget contract: across any horizon, total
+// downtime equals the budget exactly (windows are disjoint, sorted, and
+// sum to budget), and the first window starts strictly after round 0.
+func TestChurnerBudget(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		rng := xrand.Derive(seed, 0xC4A2)
+		budget, mean := 40, 6
+		c := NewChurner(&recDevice{id: 1})
+		c.Schedule(budget, mean, rng)
+		ws := c.Windows()
+		total := uint64(0)
+		prevEnd := uint64(0)
+		for i, w := range ws {
+			if w[1] <= w[0] {
+				t.Fatalf("seed %d window %d: empty or inverted %v", seed, i, w)
+			}
+			if w[0] <= prevEnd {
+				t.Fatalf("seed %d window %d: overlaps or touches previous (start %d, prev end %d)", seed, i, w[0], prevEnd)
+			}
+			total += w[1] - w[0]
+			prevEnd = w[1]
+		}
+		if total != uint64(budget) {
+			t.Fatalf("seed %d: total downtime %d, want exactly %d", seed, total, budget)
+		}
+		if len(ws) > 0 && ws[0][0] < uint64(mean) {
+			t.Fatalf("seed %d: first outage at %d, before the initial up-gap %d", seed, ws[0][0], mean)
+		}
+		// Down agrees with the window list at every round.
+		horizon := ws[len(ws)-1][1] + 10
+		down := uint64(0)
+		for r := uint64(0); r < horizon; r++ {
+			if c.Down(r) {
+				down++
+			}
+		}
+		if down != uint64(budget) {
+			t.Fatalf("seed %d: Down true for %d rounds, want %d", seed, down, budget)
+		}
+	}
+}
+
+// TestChurnerStatePreserved pins the recovery contract: the wrapped
+// device's Wake sequence is identical with and without churn (its state
+// machine never misses a round), outages only suppress the transmit and
+// blank the observation.
+func TestChurnerStatePreserved(t *testing.T) {
+	inner := &recDevice{id: 3}
+	rng := xrand.New(7)
+	c := NewChurner(inner)
+	c.Schedule(20, 4, rng)
+	const horizon = 200
+	var txDuringDown int
+	for r := uint64(0); r < horizon; r++ {
+		st := c.Wake(r)
+		if c.Down(r) {
+			if st.Action == sim.Transmit {
+				txDuringDown++
+			}
+		} else if st.Action != sim.Transmit {
+			t.Fatalf("round %d: up-device transmit suppressed", r)
+		}
+		c.Deliver(r, radio.Obs{Busy: true, Decoded: true, Frame: radio.Frame{Kind: radio.KindData, Payload: r}})
+	}
+	if txDuringDown != 0 {
+		t.Fatalf("%d transmits leaked during outages", txDuringDown)
+	}
+	if len(inner.wakes) != horizon {
+		t.Fatalf("inner device woke %d times, want %d (state must advance through outages)", len(inner.wakes), horizon)
+	}
+	for r := uint64(0); r < horizon; r++ {
+		if inner.wakes[r] != r {
+			t.Fatalf("wake %d was round %d, want %d", r, inner.wakes[r], r)
+		}
+		if c.Down(r) {
+			if inner.obs[r] != radio.Silence {
+				t.Fatalf("round %d: outage delivered %+v, want silence", r, inner.obs[r])
+			}
+		} else if !inner.obs[r].Busy {
+			t.Fatalf("round %d: up-device observation blanked", r)
+		}
+	}
+}
+
+// TestChurnerZeroBudget checks a zero/negative budget never goes down.
+func TestChurnerZeroBudget(t *testing.T) {
+	rng := xrand.New(1)
+	for _, args := range [][2]int{{0, 8}, {-3, 8}, {10, 0}} {
+		c := NewChurner(&recDevice{})
+		c.Schedule(args[0], args[1], rng)
+		if len(c.Windows()) != 0 || c.Down(0) || c.Down(1<<20) {
+			t.Fatalf("inactive churner has outages: %v", c.Windows())
+		}
+	}
+}
+
+// TestChurnerDeterministic pins that the schedule is a pure function of
+// the RNG stream (same seed, same windows).
+func TestChurnerDeterministic(t *testing.T) {
+	a, b := NewChurner(&recDevice{}), NewChurner(&recDevice{})
+	a.Schedule(30, 5, xrand.New(99))
+	b.Schedule(30, 5, xrand.New(99))
+	wa, wb := a.Windows(), b.Windows()
+	if len(wa) != len(wb) {
+		t.Fatalf("window counts differ: %d vs %d", len(wa), len(wb))
+	}
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatalf("window %d differs: %v vs %v", i, wa[i], wb[i])
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"authradio/internal/adversary"
 	"authradio/internal/schedule"
 	"authradio/internal/sim"
 	"authradio/internal/topo"
@@ -37,9 +38,16 @@ type WorldBuilder struct {
 // Deployment returns the (validated) device deployment.
 func (b *WorldBuilder) Deployment() *topo.Deployment { return b.cfg.Deploy }
 
-// Role returns device i's behaviour for this run.
+// Role returns device i's behaviour for this run. Churn devices are
+// reported as Honest: a churning device runs the ordinary protocol, so
+// drivers build it like any honest node and core wraps it with the
+// crash-recover behaviour at AddNode. Drivers that must distinguish
+// (none do today) can consult the raw Config.
 func (b *WorldBuilder) Role(i int) Role {
 	if b.cfg.Roles == nil {
+		return Honest
+	}
+	if b.cfg.Roles[i] == Churn {
 		return Honest
 	}
 	return b.cfg.Roles[i]
@@ -111,9 +119,20 @@ func (b *WorldBuilder) SetJamVetoOnly(v bool) { b.jamVetoOnly = v }
 // source, which is not tracked as a protocol node).
 func (b *WorldBuilder) AddDevice(d sim.Device) { b.w.Eng.Add(d, 0) }
 
-// AddNode registers an honest protocol node for device id.
+// AddNode registers an honest protocol node for device id. Devices the
+// configuration marks as Churn are wrapped in an adversary.Churner on
+// the way into the engine: the node's protocol state (and Status view)
+// is untouched, but its radio interaction is suppressed during outage
+// windows. The windows themselves are sampled by Build once the cycle
+// is known.
 func (b *WorldBuilder) AddNode(id int, n ProtocolNode) {
 	b.w.Nodes[id] = n
+	if b.cfg.Roles != nil && b.cfg.Roles[id] == Churn {
+		c := adversary.NewChurner(n)
+		b.w.Churners = append(b.w.Churners, c)
+		b.w.Eng.Add(c, 0)
+		return
+	}
 	b.w.Eng.Add(n, 0)
 }
 

@@ -98,6 +98,11 @@ const (
 	// frames in uniformly random rounds — the data/ack-round attack the
 	// adversary package provides for robustness ladders.
 	Spoofer
+	// Churn devices run the protocol honestly but crash-recover: they go
+	// radio-silent for sampled outage windows (neither transmitting nor
+	// hearing), then resume with their round state intact. Drivers see
+	// them as Honest; core wraps them in adversary.Churner at AddNode.
+	Churn
 )
 
 // Config describes one simulated broadcast.
@@ -137,6 +142,10 @@ type Config struct {
 	// SpoofProb is the spoofers' per-round broadcast probability
 	// (default adversary.DefaultSpoofProb).
 	SpoofProb float64
+	// ChurnOutage is each Churn device's total outage budget in schedule
+	// cycles (downtime is split into windows of roughly one cycle each);
+	// 0 selects adversary.DefaultChurnOutage, negative disables outages.
+	ChurnOutage int
 	// Medium overrides the channel model; nil selects the analytical
 	// disk medium matching the deployment's metric. A custom medium
 	// that embeds one of the built-in media and overrides only Observe
@@ -198,6 +207,9 @@ type World struct {
 	Nodes      map[int]Status // protocol devices (honest + liars), by id
 	Jammers    []*adversary.Jammer
 	Spoofers   []*adversary.Spoofer
+	// Churners are the crash-recover wrappers around Churn devices'
+	// protocol nodes (the nodes themselves are also in Nodes).
+	Churners []*adversary.Churner
 	// Cycle is the schedule cycle in force (for jammers, probing and
 	// reporting).
 	Cycle schedule.Cycle
@@ -291,7 +303,7 @@ func Build(cfg Config, opts ...Option) (*World, error) {
 	}
 	active := make([]bool, d.N())
 	for i := range active {
-		active[i] = role(i) == Honest || role(i) == Liar
+		active[i] = role(i) == Honest || role(i) == Liar || role(i) == Churn
 	}
 
 	w := &World{
@@ -349,6 +361,27 @@ func Build(cfg Config, opts ...Option) (*World, error) {
 		w.byzIDs[i] = true
 	}
 
+	// Churners were registered during the driver's build (AddNode wraps
+	// them); their outage windows are sampled here, after jammers and
+	// spoofers, from per-device streams under a fresh label — so adding
+	// churn to a configuration leaves every pre-existing role's RNG
+	// stream bit-for-bit unchanged. The outage unit is the protocol's own
+	// cycle, known only now that the driver has set it.
+	if len(w.Churners) > 0 && cfg.ChurnOutage >= 0 {
+		cycleRounds := int(w.Cycle.Rounds())
+		if cycleRounds <= 0 {
+			cycleRounds = 1
+		}
+		outage := cfg.ChurnOutage
+		if outage == 0 {
+			outage = adversary.DefaultChurnOutage
+		}
+		for _, c := range w.Churners {
+			c.Schedule(outage*cycleRounds, cycleRounds,
+				xrand.Derive(cfg.Seed, 0xC402, uint64(c.ID())))
+		}
+	}
+
 	w.Eng.OnRound = chainHooks(bo.hooks)
 	w.Eng.OnDeliver = chainObsHooks(bo.obsHooks)
 	if bo.transport != nil {
@@ -397,6 +430,19 @@ type Result struct {
 	// HonestTx / ByzTx split total transmissions by allegiance
 	// (the source counts as honest).
 	HonestTx, ByzTx uint64
+
+	// Components is the number of connected components of the live
+	// communication graph — devices that participate in the protocol
+	// (honest, liar, churn), with crashed devices and pure attackers
+	// removed. A value above 1 means global completion percentages mix
+	// unreachable devices with genuine delivery failures.
+	Components int
+	// SrcCompSize is the number of live devices in the source's
+	// component (including the source).
+	SrcCompSize int
+	// SrcHonest / SrcComplete restrict Honest / Complete to the source's
+	// component: the devices the broadcast could physically reach.
+	SrcHonest, SrcComplete int
 }
 
 // CompletionFrac returns Complete/Honest in [0,1].
@@ -414,6 +460,16 @@ func (r Result) CorrectFrac() float64 {
 		return 1
 	}
 	return float64(r.Correct) / float64(r.Complete)
+}
+
+// SrcDeliveryFrac returns SrcComplete/SrcHonest in [0,1] — the delivery
+// rate among the honest devices in the source's component, the
+// partition-aware counterpart of CompletionFrac.
+func (r Result) SrcDeliveryFrac() float64 {
+	if r.SrcHonest == 0 {
+		return 0
+	}
+	return float64(r.SrcComplete) / float64(r.SrcHonest)
 }
 
 // Run executes until every honest node completes or maxRounds is
@@ -461,5 +517,35 @@ func (w *World) Summarize(end uint64) Result {
 		res.ByzTx += w.Eng.TxCount(sp.ID())
 	}
 	res.HonestTx += w.Eng.TxCount(w.Cfg.SourceID)
+
+	// Partition-aware view: a union-find over the live communication
+	// graph (protocol participants only — crashed devices and pure
+	// attackers removed) splits the run into components, and delivery is
+	// restricted to the source's. These fields are pure functions of the
+	// deployment and roles, so they are identical across transports.
+	d := w.Cfg.Deploy
+	alive := make([]bool, d.N())
+	for i := range alive {
+		r := Honest
+		if w.Cfg.Roles != nil {
+			r = w.Cfg.Roles[i]
+		}
+		alive[i] = r == Honest || r == Liar || r == Churn
+	}
+	uf := d.LiveComponents(alive)
+	for i, a := range alive {
+		if a && uf.Find(i) == i {
+			res.Components++
+		}
+	}
+	res.SrcCompSize = uf.SizeOf(w.Cfg.SourceID)
+	for id, n := range w.Nodes {
+		if !n.IsLiar() && uf.Same(w.Cfg.SourceID, id) {
+			res.SrcHonest++
+			if n.Complete() {
+				res.SrcComplete++
+			}
+		}
+	}
 	return res
 }

@@ -42,14 +42,14 @@ func Dropoff(o Options) []Table {
 	instances := core.Instances()
 	tbl := Table{
 		Title: "Adversary drop-off — max tolerated ladder rung per instance",
-		Note: fmt.Sprintf("%dx%d analytical grid, R=2, 4-bit message, %d reps; each instance walks the %d-rung adversary ladder in order until delivery < %.0f%% or any spurious accept; 'tolerated' is the last rung passed, 'drop-off' the first rung failed (- = the whole ladder is tolerated)",
+		Note: fmt.Sprintf("%dx%d analytical grid, R=2, 4-bit message, %d reps; each instance walks the %d-rung adversary ladder in order until delivery < %.0f%% or any spurious accept; 'tolerated' is the last rung passed, 'drop-off' the first rung failed (- = the whole ladder is tolerated); src del = %% delivery within the source's live component at the drop-off rung, separating partition loss from protocol failure",
 			gridW, gridW, reps, len(mixes), dropoffDelivery),
-		Header: []string{"instance", "family", "tolerated", "rungs", "drop-off mix", "delivery %", "spurious %"},
+		Header: []string{"instance", "family", "tolerated", "rungs", "drop-off mix", "delivery %", "src del %", "spurious %"},
 	}
 	for _, instance := range instances {
 		tolerated := "none"
 		rungs := 0
-		dropMix, dropDelivery, dropSpurious := "-", "-", "-"
+		dropMix, dropDelivery, dropSrcDel, dropSpurious := "-", "-", "-", "-"
 		for _, mix := range mixes {
 			s := base
 			s.ProtocolName = instance
@@ -62,6 +62,7 @@ func Dropoff(o Options) []Table {
 			if delivery < dropoffDelivery || spurious > 0 {
 				dropMix = mix.Mix()
 				dropDelivery = fmt.Sprintf("%.1f", delivery)
+				dropSrcDel = fmt.Sprintf("%.1f", agg.SrcDeliveryPct.Mean)
 				dropSpurious = fmt.Sprintf("%.1f", spurious)
 				break
 			}
@@ -69,7 +70,7 @@ func Dropoff(o Options) []Table {
 			rungs++
 		}
 		tbl.Add(instance, familyOf(instance), tolerated,
-			fmt.Sprintf("%d/%d", rungs, len(mixes)), dropMix, dropDelivery, dropSpurious)
+			fmt.Sprintf("%d/%d", rungs, len(mixes)), dropMix, dropDelivery, dropSrcDel, dropSpurious)
 	}
 	return []Table{tbl}
 }

@@ -169,8 +169,10 @@ func (s Scenario) roles(d *topo.Deployment, src, rep int) []core.Role {
 	assign(s.JamFrac, core.Jammer)
 	assign(s.CrashFrac, core.Crashed)
 	// Spoofers draw after the original three so mixes without them
-	// reproduce the historical role streams bit-for-bit.
+	// reproduce the historical role streams bit-for-bit; churners draw
+	// after spoofers for the same reason.
 	assign(s.SpoofFrac, core.Spoofer)
+	assign(s.ChurnFrac, core.Churn)
 	return roles
 }
 
@@ -224,6 +226,7 @@ func (s Scenario) BuildWorld(rep int, opts ...core.Option) (*core.World, error) 
 		JamProb:         s.JamProb,
 		SpoofBudget:     s.SpoofBudget,
 		SpoofProb:       s.SpoofProb,
+		ChurnOutage:     s.ChurnOutage,
 		EpidemicRepeats: s.EpidemicRepeats,
 		Params:          s.Params,
 		Seed:            xrand.Hash64(s.Seed, uint64(rep)),
@@ -304,6 +307,14 @@ type Agg struct {
 	LastCompletion stats.Summary
 	HonestTx       stats.Summary
 	ByzTx          stats.Summary
+	// Components counts connected components of the live communication
+	// graph (crashed devices and pure attackers removed); SrcDeliveryPct
+	// is the completion percentage restricted to the source's component.
+	// When Components.Mean > 1 the global CompletionPct mixes physically
+	// unreachable devices with genuine delivery failures, and
+	// SrcDeliveryPct is the honest measure of protocol performance.
+	Components     stats.Summary
+	SrcDeliveryPct stats.Summary
 }
 
 // Aggregate computes per-metric summaries (with the paper's outlier
@@ -316,6 +327,8 @@ func Aggregate(rs []core.Result) Agg {
 	last := make([]float64, n)
 	htx := make([]float64, n)
 	btx := make([]float64, n)
+	comps := make([]float64, n)
+	srcDel := make([]float64, n)
 	for i, r := range rs {
 		completion[i] = 100 * r.CompletionFrac()
 		correct[i] = 100 * r.CorrectFrac()
@@ -323,6 +336,8 @@ func Aggregate(rs []core.Result) Agg {
 		last[i] = float64(r.LastCompletion)
 		htx[i] = float64(r.HonestTx)
 		btx[i] = float64(r.ByzTx)
+		comps[i] = float64(r.Components)
+		srcDel[i] = 100 * r.SrcDeliveryFrac()
 	}
 	return Agg{
 		CompletionPct:  stats.Summarize(completion),
@@ -331,5 +346,7 @@ func Aggregate(rs []core.Result) Agg {
 		LastCompletion: stats.Summarize(last),
 		HonestTx:       stats.Summarize(htx),
 		ByzTx:          stats.Summarize(btx),
+		Components:     stats.Summarize(comps),
+		SrcDeliveryPct: stats.Summarize(srcDel),
 	}
 }

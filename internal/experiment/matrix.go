@@ -40,11 +40,19 @@ type AdversaryMix struct {
 	SpoofFrac   float64
 	SpoofBudget int
 	SpoofProb   float64
+
+	// ChurnFrac is the fraction of devices that crash-recover: honest
+	// protocol nodes that go radio-silent for sampled outage windows and
+	// then resume with their state intact. ChurnOutage is each one's
+	// total outage budget in schedule cycles (0 selects
+	// adversary.DefaultChurnOutage).
+	ChurnFrac   float64
+	ChurnOutage int
 }
 
 // IsZero reports whether the mix assigns no adversarial role at all.
 func (m AdversaryMix) IsZero() bool {
-	return m.LiarFrac == 0 && m.CrashFrac == 0 && m.JamFrac == 0 && m.SpoofFrac == 0
+	return m.LiarFrac == 0 && m.CrashFrac == 0 && m.JamFrac == 0 && m.SpoofFrac == 0 && m.ChurnFrac == 0
 }
 
 // Mix returns the mix's display label: Label when set, otherwise a
@@ -88,6 +96,13 @@ func (m AdversaryMix) Mix() string {
 		}
 		add(part)
 	}
+	if m.ChurnFrac > 0 {
+		part := "churn" + pct(m.ChurnFrac)
+		if m.ChurnOutage > 0 {
+			part += fmt.Sprintf("o%d", m.ChurnOutage)
+		}
+		add(part)
+	}
 	return out
 }
 
@@ -98,9 +113,10 @@ var FamiliesMix = AdversaryMix{Label: "liar10", LiarFrac: 0.10}
 
 // Ladder returns the default adversary ladder of the matrix sweep: a
 // clean baseline, the families liar mix plus a heavier rung, a
-// per-jammer budget ladder (Section 6.1's varied quantity), and a
-// spoofer mix attacking data rounds instead of veto rounds. Full mode
-// widens every dimension.
+// per-jammer budget ladder (Section 6.1's varied quantity), a spoofer
+// mix attacking data rounds instead of veto rounds, and a crash-recover
+// churn rung (the ROADMAP's missing adversary axis). Full mode widens
+// every dimension.
 func Ladder(full bool) []AdversaryMix {
 	if full {
 		return []AdversaryMix{
@@ -112,6 +128,8 @@ func Ladder(full bool) []AdversaryMix {
 			{Label: "jam10/b16", JamFrac: 0.10, JamBudget: 16},
 			{Label: "jam10/b32", JamFrac: 0.10, JamBudget: 32},
 			{Label: "spoof10/b16", SpoofFrac: 0.10, SpoofBudget: 16},
+			{Label: "churn10/o8", ChurnFrac: 0.10, ChurnOutage: 8},
+			{Label: "churn20/o16", ChurnFrac: 0.20, ChurnOutage: 16},
 		}
 	}
 	return []AdversaryMix{
@@ -121,6 +139,7 @@ func Ladder(full bool) []AdversaryMix {
 		{Label: "jam10/b8", JamFrac: 0.10, JamBudget: 8},
 		{Label: "jam10/b24", JamFrac: 0.10, JamBudget: 24},
 		{Label: "spoof10/b16", SpoofFrac: 0.10, SpoofBudget: 16},
+		{Label: "churn10/o8", ChurnFrac: 0.10, ChurnOutage: 8},
 	}
 }
 
@@ -178,15 +197,16 @@ func Matrix(o Options) []Table {
 	instances := core.Instances()
 	tbl := Table{
 		Title: "Adversary matrix — the four paper metrics per instance × adversary mix",
-		Note: fmt.Sprintf("%dx%d analytical grid, R=2, 4-bit message, %d reps; every core.Instances() entry × %d mixes (liar ladder, per-jammer budget ladder, spoofers); latency = mean last completion round, delivery = %% honest complete, spurious = %% of completed accepting a wrong message, energy = mean honest broadcasts",
+		Note: fmt.Sprintf("%dx%d analytical grid, R=2, 4-bit message, %d reps; every core.Instances() entry × %d mixes (liar ladder, per-jammer budget ladder, spoofers, crash-recover churn); latency = mean last completion round, delivery = %% honest complete, spurious = %% of completed accepting a wrong message, energy = mean honest broadcasts, comps = mean live components, src del = %% delivery within the source's component",
 			gridW, gridW, reps, len(mixes)),
-		Header: []string{"instance", "family", "mix", "latency", "delivery %", "spurious %", "energy (tx)"},
+		Header: []string{"instance", "family", "mix", "latency", "delivery %", "spurious %", "energy (tx)", "comps", "src del %"},
 	}
 	for _, s := range SweepMatrix(base, instances, mixes) {
 		s.MaxRounds = maxRoundsFor(familyOf(s.ProtocolName), o.Full)
 		_, agg := cell(s, o, reps)
 		lat, del, spur, en := paperMetrics(agg)
-		tbl.Add(s.ProtocolName, familyOf(s.ProtocolName), s.Mix(), lat, del, spur, en)
+		tbl.Add(s.ProtocolName, familyOf(s.ProtocolName), s.Mix(), lat, del, spur, en,
+			agg.Components.Mean, agg.SrcDeliveryPct.Mean)
 	}
 	return []Table{tbl}
 }

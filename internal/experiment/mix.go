@@ -14,11 +14,13 @@ import (
 //	crash10                10% crashed devices
 //	jam10b32               10% jammers, 32 broadcasts each
 //	spoof10b16             10% spoofers, 16 broadcasts each
+//	churn10o8              10% crash-recover devices, 8 cycles outage each
 //	liar5+jam10b8          combined mixes, '+'-separated
 //
 // Percentages may be fractional ("liar7.5") and may carry an explicit
 // '%' ("liar10%"); a budget may be separated by '/' ("jam10/b8", the
-// ladder's label spelling). Matching is case-insensitive. Each kind may
+// ladder's label spelling), and churn's outage budget uses 'o' the same
+// way ("churn10/o8"). Matching is case-insensitive. Each kind may
 // appear at most once. The returned mix carries the input (trimmed) as
 // its Label, so tables show the label the user asked for.
 func ParseMix(s string) (AdversaryMix, error) {
@@ -50,23 +52,25 @@ func ParseMix(s string) (AdversaryMix, error) {
 			m.JamFrac, m.JamBudget = frac, budget
 		case "spoof":
 			m.SpoofFrac, m.SpoofBudget = frac, budget
+		case "churn":
+			m.ChurnFrac, m.ChurnOutage = frac, budget
 		}
 	}
 	return m, nil
 }
 
 // parseMixPart parses one '+'-separated component: kind, percentage,
-// optional budget.
+// optional budget (broadcasts for jam/spoof, outage cycles for churn).
 func parseMixPart(part string) (kind string, frac float64, budget int, err error) {
 	rest := part
-	for _, k := range []string{"liar", "crash", "jam", "spoof"} {
+	for _, k := range []string{"liar", "crash", "jam", "spoof", "churn"} {
 		if v, ok := strings.CutPrefix(rest, k); ok {
 			kind, rest = k, v
 			break
 		}
 	}
 	if kind == "" {
-		return "", 0, 0, fmt.Errorf("component %q: want liar/crash/jam/spoof", part)
+		return "", 0, 0, fmt.Errorf("component %q: want liar/crash/jam/spoof/churn", part)
 	}
 	// Percentage: digits and dots, optionally an exponent ("1e-07" —
 	// Mix() renders tiny fractions that way), optionally terminated by
@@ -101,10 +105,15 @@ func parseMixPart(part string) (kind string, frac float64, budget int, err error
 		return "", 0, 0, fmt.Errorf("component %q: percentage %g out of (0,100]", part, pct)
 	}
 	frac = pct / 100
-	// Optional budget: [/]b<int>, only for the budgeted kinds.
+	// Optional budget: [/]b<int> for the broadcast-budgeted kinds
+	// (jam/spoof), [/]o<int> outage cycles for churn.
 	if rest != "" {
 		rest = strings.TrimPrefix(rest, "/")
-		b, ok := strings.CutPrefix(rest, "b")
+		marker := "b"
+		if kind == "churn" {
+			marker = "o"
+		}
+		b, ok := strings.CutPrefix(rest, marker)
 		if !ok {
 			return "", 0, 0, fmt.Errorf("component %q: trailing %q", part, rest)
 		}

@@ -19,6 +19,11 @@ func TestParseMix(t *testing.T) {
 		{"jam10%b8", AdversaryMix{Label: "jam10%b8", JamFrac: 0.10, JamBudget: 8}},
 		{"jam25", AdversaryMix{Label: "jam25", JamFrac: 0.25}},
 		{"spoof10b16", AdversaryMix{Label: "spoof10b16", SpoofFrac: 0.10, SpoofBudget: 16}},
+		{"churn10o8", AdversaryMix{Label: "churn10o8", ChurnFrac: 0.10, ChurnOutage: 8}},
+		{"churn10/o8", AdversaryMix{Label: "churn10/o8", ChurnFrac: 0.10, ChurnOutage: 8}},
+		{"churn10%o8", AdversaryMix{Label: "churn10%o8", ChurnFrac: 0.10, ChurnOutage: 8}},
+		{"churn20", AdversaryMix{Label: "churn20", ChurnFrac: 0.20}},
+		{"liar5+churn10o8", AdversaryMix{Label: "liar5+churn10o8", LiarFrac: 0.05, ChurnFrac: 0.10, ChurnOutage: 8}},
 		{"liar5+jam10b8", AdversaryMix{Label: "liar5+jam10b8", LiarFrac: 0.05, JamFrac: 0.10, JamBudget: 8}},
 		{"liar10%+crash5%+spoof10%b4", AdversaryMix{
 			Label:    "liar10%+crash5%+spoof10%b4",
@@ -55,6 +60,11 @@ func TestParseMixErrors(t *testing.T) {
 		"jam5b",        // empty budget
 		"jam5b0",       // zero budget
 		"jam5b-3",      // negative budget
+		"jam5o4",       // jam's budget marker is 'b', not 'o'
+		"churn5b4",     // churn's budget marker is 'o', not 'b'
+		"churn5o",      // empty outage budget
+		"churn5o0",     // zero outage budget
+		"churn5o-3",    // negative outage budget
 		"gremlin5",     // unknown kind
 		"liar5+liar10", // duplicate kind
 		"liar5+",       // empty component
@@ -111,6 +121,7 @@ func FuzzParseMix(f *testing.F) {
 	for _, seed := range []string{
 		"clean", "liar15", "liar7.5", "crash20", "jam10b32", "jam10/b8",
 		"spoof10b16", "liar5+jam10b8", "liar10%+crash5%+spoof10%b4",
+		"churn10o8", "churn10/o8", "churn20", "liar5+churn10o8", "churn5b4",
 		"liar", "liar0", "liar101", "gremlin5", "liar5+liar10", "jam5b",
 		"", "+", "%", "b", "liar5x", "100", "liar1e2",
 	} {

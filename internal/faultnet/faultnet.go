@@ -1,0 +1,257 @@
+// Package faultnet provides deterministic datagram fault plans for the
+// transport seam. A Plan decides — as a pure function of its seed and
+// the datagram's identity (direction, kind, device index, round,
+// attempt) — whether a given send is dropped, duplicated, or delayed.
+// No state is consulted and no stream position advances, so the same
+// plan gives the same verdict for the same datagram no matter when, or
+// in what order, sends happen. That purity is what makes fault testing
+// reproducible: the *set of faults offered* is fixed by the seed, and
+// only which attempts a transport actually makes depends on timing.
+//
+// A plan perturbs delivery, never content or the protocol state behind
+// the seam; a transport that retransmits idempotently and replays
+// cached responses therefore produces byte-identical results under any
+// recoverable plan (pinned by internal/medium/net's equivalence and
+// soak tests).
+//
+// Recoverability is a property of the plan, not luck: attempts at or
+// beyond SureAttempt are never faulted, so any transport whose retry
+// budget reaches SureAttempt is guaranteed to get a clean exchange
+// through. Plans with devices in Kill are deliberately unrecoverable
+// for those devices (every datagram in either direction is dropped from
+// round KillFrom on) — the fixture for crash-declaration tests.
+package faultnet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"authradio/internal/xrand"
+)
+
+// Datagram directions, the first word of every verdict hash: requests
+// and responses draw independent faults, so a dropped request and a
+// dropped response of the same attempt are uncorrelated.
+const (
+	// DirRequest is coordinator → endpoint traffic.
+	DirRequest uint8 = 1
+	// DirResponse is endpoint → coordinator traffic.
+	DirResponse uint8 = 2
+)
+
+// DefaultMaxDelay bounds a delayed datagram's extra latency when the
+// plan does not set MaxDelay. It is chosen to exceed typical transport
+// timeouts' granularity enough to force retransmissions and reordering
+// on loopback without stretching test wall-clock.
+const DefaultMaxDelay = 2 * time.Millisecond
+
+// DefaultSureAttempt is the attempt index from which a plan with no
+// explicit SureAttempt stops injecting faults. Transports with a retry
+// budget of at least this many attempts recover from any default plan.
+const DefaultSureAttempt = 8
+
+// Plan is a seeded, deterministic fault plan. The zero value injects
+// nothing. Probabilities are in [0, 1] and evaluated independently per
+// datagram; Drop wins over Dup and Delay (a dropped datagram is simply
+// never sent).
+type Plan struct {
+	// Seed drives every verdict. Two plans with equal knobs and seeds
+	// are the same plan.
+	Seed uint64
+
+	// Drop is the probability a datagram is discarded instead of sent.
+	Drop float64
+	// Dup is the probability a datagram is sent twice (duplicate
+	// delivery; endpoints must dedup).
+	Dup float64
+	// Delay is the probability a datagram is held back before sending,
+	// which both delays it and reorders it against later traffic.
+	Delay float64
+	// MaxDelay bounds the sampled hold-back (uniform in (0, MaxDelay]);
+	// 0 selects DefaultMaxDelay.
+	MaxDelay time.Duration
+
+	// SureAttempt is the attempt index from which no fault is ever
+	// injected (Kill excepted): the recoverability guarantee. 0 selects
+	// DefaultSureAttempt; negative disables the guarantee (attempts are
+	// faulted forever — the plan may be unrecoverable by chance).
+	SureAttempt int
+
+	// Kill lists device indices whose datagrams are always dropped, in
+	// both directions, from round KillFrom on — a deterministic dead
+	// endpoint. Nil kills nobody.
+	Kill []int32
+	// KillFrom is the first round at which Kill applies.
+	KillFrom uint64
+}
+
+// Verdict is the plan's decision for one datagram send.
+type Verdict struct {
+	// Drop discards the datagram.
+	Drop bool
+	// Dup sends the datagram twice.
+	Dup bool
+	// Delay holds the datagram back this long before sending (0 sends
+	// immediately).
+	Delay time.Duration
+}
+
+// Lanes for the verdict hash; distinct per decision so the three draws
+// are independent.
+const (
+	laneDrop uint64 = 0xD409
+	laneDup  uint64 = 0xD0B1
+	laneHold uint64 = 0xDE1A
+)
+
+// draw returns a uniform float64 in [0, 1) for one decision lane of one
+// datagram, as a pure function of the plan's seed and the datagram's
+// identity.
+func (p *Plan) draw(lane uint64, dir, kind uint8, ix int32, r uint64, attempt uint32) float64 {
+	h := xrand.Hash64(p.Seed, lane, uint64(dir)<<8|uint64(kind), uint64(uint32(ix)), r, uint64(attempt))
+	return float64(h>>11) / (1 << 53)
+}
+
+// Active reports whether the plan can inject any fault at all.
+func (p *Plan) Active() bool {
+	if p == nil {
+		return false
+	}
+	return p.Drop > 0 || p.Dup > 0 || p.Delay > 0 || len(p.Kill) > 0
+}
+
+// Killed reports whether device ix is dead at round r under the plan.
+func (p *Plan) Killed(ix int32, r uint64) bool {
+	if p == nil {
+		return false
+	}
+	for _, k := range p.Kill {
+		if k == ix && r >= p.KillFrom {
+			return true
+		}
+	}
+	return false
+}
+
+// Verdict decides the fate of one datagram send. dir is DirRequest or
+// DirResponse; kind is the transport's datagram kind; ix the device
+// index the exchange belongs to; r the round; attempt the 0-based
+// retransmission (or response-replay) count for this exchange.
+func (p *Plan) Verdict(dir, kind uint8, ix int32, r uint64, attempt uint32) Verdict {
+	if p == nil {
+		return Verdict{}
+	}
+	if p.Killed(ix, r) {
+		return Verdict{Drop: true}
+	}
+	sure := p.SureAttempt
+	if sure == 0 {
+		sure = DefaultSureAttempt
+	}
+	if sure > 0 && attempt >= uint32(sure) {
+		return Verdict{}
+	}
+	if p.Drop > 0 && p.draw(laneDrop, dir, kind, ix, r, attempt) < p.Drop {
+		return Verdict{Drop: true}
+	}
+	var v Verdict
+	if p.Dup > 0 && p.draw(laneDup, dir, kind, ix, r, attempt) < p.Dup {
+		v.Dup = true
+	}
+	if p.Delay > 0 && p.draw(laneHold, dir, kind, ix, r, attempt) < p.Delay {
+		maxd := p.MaxDelay
+		if maxd <= 0 {
+			maxd = DefaultMaxDelay
+		}
+		// Uniform in (0, maxd]: reuse the hold draw's hash bits through
+		// a distinct lane so the magnitude is independent of the
+		// decision itself.
+		f := p.draw(laneHold^0xFFFF, dir, kind, ix, r, attempt)
+		v.Delay = time.Duration(f*float64(maxd)) + 1
+	}
+	return v
+}
+
+// String renders the plan in Parse's grammar (label round-trips through
+// Parse up to seed, MaxDelay, SureAttempt and Kill, which the grammar
+// does not carry).
+func (p *Plan) String() string {
+	if !p.Active() {
+		return "none"
+	}
+	pct := func(f float64) string { return strconv.FormatFloat(100*f, 'g', -1, 64) }
+	var parts []string
+	if p.Drop > 0 {
+		parts = append(parts, "drop"+pct(p.Drop))
+	}
+	if p.Dup > 0 {
+		parts = append(parts, "dup"+pct(p.Dup))
+	}
+	if p.Delay > 0 {
+		parts = append(parts, "delay"+pct(p.Delay))
+	}
+	if len(parts) == 0 {
+		// Only Kill is set; there is no grammar for it.
+		return fmt.Sprintf("kill%v", p.Kill)
+	}
+	return strings.Join(parts, "+")
+}
+
+// Parse parses a compact fault-plan label into a Plan:
+//
+//	none                   no faults (returns nil)
+//	drop10                 10% of datagrams dropped
+//	dup5                   5% duplicated
+//	delay20                20% delayed (up to DefaultMaxDelay)
+//	drop10+dup5+delay20    combined, '+'-separated
+//
+// Percentages may be fractional ("drop7.5") and may carry an explicit
+// '%'. Matching is case-insensitive; each kind may appear at most
+// once. The returned plan has Seed 0 — callers season it.
+func Parse(s string) (*Plan, error) {
+	in := strings.ToLower(strings.TrimSpace(s))
+	if in == "" {
+		return nil, fmt.Errorf("empty fault plan")
+	}
+	if in == "none" {
+		return nil, nil
+	}
+	p := &Plan{}
+	seen := map[string]bool{}
+	for _, part := range strings.Split(in, "+") {
+		kind := ""
+		rest := part
+		for _, k := range []string{"drop", "dup", "delay"} {
+			if v, ok := strings.CutPrefix(rest, k); ok {
+				kind, rest = k, v
+				break
+			}
+		}
+		if kind == "" {
+			return nil, fmt.Errorf("fault plan %q: component %q: want drop/dup/delay", s, part)
+		}
+		rest = strings.TrimSuffix(rest, "%")
+		pctV, err := strconv.ParseFloat(rest, 64)
+		if err != nil || rest == "" {
+			return nil, fmt.Errorf("fault plan %q: component %q: bad percentage %q", s, part, rest)
+		}
+		if pctV <= 0 || pctV > 100 {
+			return nil, fmt.Errorf("fault plan %q: component %q: percentage %g out of (0,100]", s, part, pctV)
+		}
+		if seen[kind] {
+			return nil, fmt.Errorf("fault plan %q: duplicate %q", s, kind)
+		}
+		seen[kind] = true
+		switch kind {
+		case "drop":
+			p.Drop = pctV / 100
+		case "dup":
+			p.Dup = pctV / 100
+		case "delay":
+			p.Delay = pctV / 100
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,227 @@
+package faultnet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestVerdictPure pins the contract the package exists for: the verdict
+// for a datagram is a pure function of (seed, dir, kind, ix, round,
+// attempt) — re-asking, in any order, changes nothing.
+func TestVerdictPure(t *testing.T) {
+	p := &Plan{Seed: 7, Drop: 0.3, Dup: 0.2, Delay: 0.4, SureAttempt: -1}
+	type key struct {
+		dir, kind uint8
+		ix        int32
+		r         uint64
+		attempt   uint32
+	}
+	keys := []key{}
+	for _, dir := range []uint8{DirRequest, DirResponse} {
+		for kind := uint8(1); kind <= 4; kind++ {
+			for ix := int32(0); ix < 4; ix++ {
+				for r := uint64(0); r < 8; r++ {
+					for a := uint32(0); a < 4; a++ {
+						keys = append(keys, key{dir, kind, ix, r, a})
+					}
+				}
+			}
+		}
+	}
+	first := make(map[key]Verdict, len(keys))
+	for _, k := range keys {
+		first[k] = p.Verdict(k.dir, k.kind, k.ix, k.r, k.attempt)
+	}
+	// Re-ask in reverse order against a fresh but identical plan.
+	q := &Plan{Seed: 7, Drop: 0.3, Dup: 0.2, Delay: 0.4, SureAttempt: -1}
+	for i := len(keys) - 1; i >= 0; i-- {
+		k := keys[i]
+		if got := q.Verdict(k.dir, k.kind, k.ix, k.r, k.attempt); got != first[k] {
+			t.Fatalf("verdict for %+v not pure: %+v vs %+v", k, got, first[k])
+		}
+	}
+}
+
+// TestVerdictLanesIndependent checks that directions and lanes draw
+// independently: with only Drop set, some requests are dropped while
+// their same-identity responses are not, and vice versa.
+func TestVerdictLanesIndependent(t *testing.T) {
+	p := &Plan{Seed: 3, Drop: 0.5, SureAttempt: -1}
+	var reqOnly, respOnly bool
+	for r := uint64(0); r < 256; r++ {
+		req := p.Verdict(DirRequest, 1, 0, r, 0).Drop
+		resp := p.Verdict(DirResponse, 1, 0, r, 0).Drop
+		if req && !resp {
+			reqOnly = true
+		}
+		if resp && !req {
+			respOnly = true
+		}
+	}
+	if !reqOnly || !respOnly {
+		t.Fatalf("directions correlated: reqOnly=%v respOnly=%v", reqOnly, respOnly)
+	}
+}
+
+// TestVerdictRates checks the probabilities are honored to within
+// sampling noise over a large draw.
+func TestVerdictRates(t *testing.T) {
+	p := &Plan{Seed: 11, Drop: 0.2, Dup: 0.1, Delay: 0.3, SureAttempt: -1}
+	const n = 20000
+	var drops, sent, dups, delays int
+	for r := uint64(0); r < n; r++ {
+		v := p.Verdict(DirRequest, 2, 5, r, 0)
+		if v.Drop {
+			drops++
+			continue
+		}
+		// Dup and Delay are conditional on not dropping (a dropped
+		// datagram never gets the later draws), so measure them against
+		// the surviving population.
+		sent++
+		if v.Dup {
+			dups++
+		}
+		if v.Delay > 0 {
+			delays++
+		}
+	}
+	check := func(name string, got, of int, want float64) {
+		frac := float64(got) / float64(of)
+		if frac < want-0.02 || frac > want+0.02 {
+			t.Errorf("%s rate %.3f, want %.2f±0.02", name, frac, want)
+		}
+	}
+	check("drop", drops, n, 0.2)
+	check("dup", dups, sent, 0.1)
+	check("delay", delays, sent, 0.3)
+}
+
+// TestSureAttemptRecoverability pins the recoverability guarantee: no
+// fault at or beyond SureAttempt (default and explicit), so a transport
+// with that many retries always gets a clean exchange.
+func TestSureAttemptRecoverability(t *testing.T) {
+	p := &Plan{Seed: 5, Drop: 0.99, Dup: 0.99, Delay: 0.99}
+	for r := uint64(0); r < 512; r++ {
+		if v := p.Verdict(DirRequest, 1, 2, r, DefaultSureAttempt); v != (Verdict{}) {
+			t.Fatalf("round %d: fault at default sure attempt: %+v", r, v)
+		}
+	}
+	p.SureAttempt = 3
+	for r := uint64(0); r < 512; r++ {
+		for a := uint32(3); a < 6; a++ {
+			if v := p.Verdict(DirResponse, 2, 0, r, a); v != (Verdict{}) {
+				t.Fatalf("round %d attempt %d: fault past explicit sure attempt: %+v", r, a, v)
+			}
+		}
+	}
+}
+
+// TestKill pins the deterministic dead-endpoint fixture: killed devices
+// lose every datagram in both directions from KillFrom on, regardless
+// of attempt, while other devices are untouched by the kill.
+func TestKill(t *testing.T) {
+	p := &Plan{Seed: 1, Kill: []int32{2}, KillFrom: 10}
+	if !p.Killed(2, 10) || p.Killed(2, 9) || p.Killed(1, 10) {
+		t.Fatal("Killed window wrong")
+	}
+	for a := uint32(0); a < 64; a++ {
+		if v := p.Verdict(DirRequest, 1, 2, 10, a); !v.Drop {
+			t.Fatalf("attempt %d to killed device not dropped", a)
+		}
+		if v := p.Verdict(DirResponse, 2, 2, 99, a); !v.Drop {
+			t.Fatalf("attempt %d from killed device not dropped", a)
+		}
+	}
+	if v := p.Verdict(DirRequest, 1, 2, 9, 0); v.Drop && p.Drop == 0 {
+		t.Fatal("kill applied before KillFrom")
+	}
+	if v := p.Verdict(DirRequest, 1, 3, 10, 0); v.Drop {
+		t.Fatal("kill leaked to another device")
+	}
+}
+
+// TestDelayBounds checks sampled delays are positive and within
+// MaxDelay (+1ns rounding).
+func TestDelayBounds(t *testing.T) {
+	p := &Plan{Seed: 9, Delay: 1, MaxDelay: 500 * time.Microsecond, SureAttempt: -1}
+	for r := uint64(0); r < 2000; r++ {
+		v := p.Verdict(DirRequest, 3, 1, r, 0)
+		if v.Delay <= 0 || v.Delay > p.MaxDelay+1 {
+			t.Fatalf("round %d: delay %v out of (0, %v]", r, v.Delay, p.MaxDelay)
+		}
+	}
+}
+
+func TestNilAndZeroPlan(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.Active() || nilPlan.Killed(0, 0) || nilPlan.Verdict(DirRequest, 1, 0, 0, 0) != (Verdict{}) {
+		t.Fatal("nil plan injected something")
+	}
+	zero := &Plan{}
+	if zero.Active() {
+		t.Fatal("zero plan claims to be active")
+	}
+	if zero.Verdict(DirRequest, 1, 0, 0, 0) != (Verdict{}) {
+		t.Fatal("zero plan injected something")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Plan
+	}{
+		{"drop10", Plan{Drop: 0.10}},
+		{"dup5", Plan{Dup: 0.05}},
+		{"delay20", Plan{Delay: 0.20}},
+		{"drop7.5", Plan{Drop: 0.075}},
+		{"drop10%", Plan{Drop: 0.10}},
+		{"drop10+dup5+delay20", Plan{Drop: 0.10, Dup: 0.05, Delay: 0.20}},
+		{"  DROP10+Delay5  ", Plan{Drop: 0.10, Delay: 0.05}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got.Drop != c.want.Drop || got.Dup != c.want.Dup || got.Delay != c.want.Delay {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.in, *got, c.want)
+		}
+	}
+	if p, err := Parse("none"); err != nil || p != nil {
+		t.Errorf("Parse(none) = %v, %v; want nil, nil", p, err)
+	}
+	for _, in := range []string{
+		"", "  ", "drop", "drop0", "drop101", "drop-5", "dropx",
+		"gremlin5", "drop5+drop10", "drop5+", "drop5,dup5", "drop5..5",
+	} {
+		if p, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %+v, want error", in, p)
+		}
+	}
+}
+
+// TestStringRoundTrips checks the rendering re-parses to the same
+// probabilities (the grammar's fixed point).
+func TestStringRoundTrips(t *testing.T) {
+	for _, p := range []*Plan{
+		{Drop: 0.1},
+		{Dup: 0.05, Delay: 0.2},
+		{Drop: 0.075, Dup: 0.05, Delay: 0.2},
+	} {
+		got, err := Parse(p.String())
+		if err != nil {
+			t.Errorf("String %q does not re-parse: %v", p.String(), err)
+			continue
+		}
+		if got.Drop != p.Drop || got.Dup != p.Dup || got.Delay != p.Delay {
+			t.Errorf("round trip %q: %+v vs %+v", p.String(), got, p)
+		}
+	}
+	var nilPlan *Plan
+	if nilPlan.String() != "none" || (&Plan{}).String() != "none" {
+		t.Error("inactive plans should render as none")
+	}
+}

@@ -1,0 +1,248 @@
+package netmedium_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"authradio/internal/bitcodec"
+	"authradio/internal/core"
+	"authradio/internal/faultnet"
+	"authradio/internal/radio"
+	"authradio/internal/topo"
+
+	netmedium "authradio/internal/medium/net"
+
+	_ "authradio/internal/proto/onehop/driver"
+	_ "authradio/internal/protocols"
+)
+
+// soakRetry is a retry policy tuned for loopback soak tests: timeouts
+// small enough that injected drops cost a millisecond, with a budget
+// comfortably past the plan's SureAttempt so every plan used here is
+// recoverable by construction.
+var soakRetry = netmedium.RetryPolicy{
+	Timeout:    time.Millisecond,
+	Backoff:    2,
+	MaxTimeout: 4 * time.Millisecond,
+	Jitter:     0.2,
+	Retries:    30,
+	Deadline:   10 * time.Second,
+	Seed:       0xF1A7,
+}
+
+// invokeLog counts device invocations per (kind, ix, round) through
+// Transport.InvokeHook; it runs on endpoint goroutines concurrently.
+type invokeLog struct {
+	mu     sync.Mutex
+	counts map[[3]uint64]int
+}
+
+func newInvokeLog() *invokeLog { return &invokeLog{counts: make(map[[3]uint64]int)} }
+
+func (l *invokeLog) hook(kind byte, ix int32, r uint64) {
+	l.mu.Lock()
+	l.counts[[3]uint64{uint64(kind), uint64(uint32(ix)), r}]++
+	l.mu.Unlock()
+}
+
+// assertExactlyOnce fails the test for any (kind, ix, round) invoked
+// more than once.
+func (l *invokeLog) assertExactlyOnce(t *testing.T) {
+	t.Helper()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.counts) == 0 {
+		t.Fatal("invoke hook never fired")
+	}
+	for k, n := range l.counts {
+		if n != 1 {
+			t.Errorf("kind %d device %d round %d invoked %d times, want exactly once", k[0], k[1], k[2], n)
+		}
+	}
+}
+
+// soak builds cfg twice — in-process, and over UDP under the fault plan
+// with the soak retry policy — and requires byte-identical results, an
+// identical observation stream, and exactly-once device callbacks.
+func soak(t *testing.T, cfg core.Config, plan *faultnet.Plan, maxRounds uint64) core.Result {
+	t.Helper()
+
+	type obsEvent struct {
+		r   uint64
+		dev int
+		obs radio.Obs
+	}
+	record := func(events *[]obsEvent) core.Option {
+		return core.WithDeliverHook(func(r uint64, dev int, obs radio.Obs) {
+			*events = append(*events, obsEvent{r, dev, obs})
+		})
+	}
+
+	var directObs []obsEvent
+	direct, err := core.Build(cfg, record(&directObs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	directRes := direct.Run(maxRounds)
+
+	log := newInvokeLog()
+	var udpObs []obsEvent
+	routed, err := core.Build(cfg, record(&udpObs), core.WithTransport(netmedium.Transport{
+		Retry:      soakRetry,
+		Faults:     plan,
+		InvokeHook: log.hook,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	udpRes := routed.Run(maxRounds)
+	if err := routed.Close(); err != nil {
+		t.Fatalf("recoverable plan surfaced a close error: %v", err)
+	}
+
+	if directRes != udpRes {
+		t.Fatalf("faulted transport diverged:\nsim %+v\nudp %+v", directRes, udpRes)
+	}
+	if len(directObs) != len(udpObs) {
+		t.Fatalf("observation streams diverged: %d sim events vs %d udp", len(directObs), len(udpObs))
+	}
+	for i := range directObs {
+		if directObs[i] != udpObs[i] {
+			t.Fatalf("observation %d diverged:\nsim %+v\nudp %+v", i, directObs[i], udpObs[i])
+		}
+	}
+	log.assertExactlyOnce(t)
+	return directRes
+}
+
+// soakPlan is the shared ≥5% drop + dup + delay(reorder) plan. Delays
+// are short relative to the retry timeout so delayed datagrams arrive
+// both before and after retransmissions — reordering, not just latency.
+func soakPlan(seed uint64) *faultnet.Plan {
+	return &faultnet.Plan{
+		Seed:     seed,
+		Drop:     0.06,
+		Dup:      0.05,
+		Delay:    0.10,
+		MaxDelay: 500 * time.Microsecond,
+		// SureAttempt 0 → default 8, well under soakRetry's 30.
+	}
+}
+
+// TestFaultSoakOneHop runs the single-hop protocol with a liar (which
+// never completes, pinning the full round horizon) for 1k rounds under
+// drop+dup+delay, asserting result equivalence and exactly-once
+// callbacks.
+func TestFaultSoakOneHop(t *testing.T) {
+	d := topo.Grid(3, 3, 5)
+	roles := make([]core.Role, d.N())
+	roles[d.N()-1] = core.Liar
+	res := soak(t, core.Config{
+		Deploy:       d,
+		ProtocolName: "OneHopRB",
+		Msg:          bitcodec.NewMessage(0b1011_0010, 8),
+		SourceID:     0,
+		Roles:        roles,
+		Seed:         5,
+	}, soakPlan(0xBADCAFE), 1_000)
+	if res.EndRound < 1_000 {
+		t.Fatalf("soak ended at round %d, want the full 1000-round horizon", res.EndRound)
+	}
+}
+
+// TestFaultSoakGossip soaks the multi-hop gossip protocol, whose
+// randomized relaying keeps many devices transmitting and listening
+// each round, to completion under the same plan.
+func TestFaultSoakGossip(t *testing.T) {
+	res := soak(t, core.Config{
+		Deploy:       topo.Grid(4, 4, 1.5),
+		ProtocolName: "GossipRB",
+		Msg:          bitcodec.NewMessage(0b101, 3),
+		SourceID:     -1,
+		Seed:         9,
+	}, soakPlan(0xFEED), 100_000)
+	if !res.AllComplete || res.Correct != res.Complete {
+		t.Fatalf("gossip did not complete cleanly under faults: %+v", res)
+	}
+}
+
+// TestUnrecoverablePlanCrashes pins graceful degradation: a plan that
+// kills one endpoint outright must not hang the run — the coordinator
+// declares the device crashed once the (small) retry budget is spent,
+// every round still completes, and Close names the casualty via
+// *CrashError on every call.
+func TestUnrecoverablePlanCrashes(t *testing.T) {
+	w, err := core.Build(core.Config{
+		Deploy:       topo.Grid(3, 3, 5),
+		ProtocolName: "OneHopRB",
+		Msg:          bitcodec.NewMessage(0b11, 2),
+		SourceID:     0,
+		Seed:         7,
+	}, core.WithTransport(netmedium.Transport{
+		Retry: netmedium.RetryPolicy{
+			Timeout:    time.Millisecond,
+			Backoff:    2,
+			MaxTimeout: 2 * time.Millisecond,
+			Retries:    3,
+			Deadline:   time.Second,
+		},
+		Faults: &faultnet.Plan{Seed: 1, Kill: []int32{4}, KillFrom: 2},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan core.Result, 1)
+	go func() { done <- w.Run(500) }()
+	select {
+	case res := <-done:
+		if res.EndRound == 0 {
+			t.Fatalf("run stopped immediately: %+v", res)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run hung on a dead endpoint")
+	}
+
+	for call := 0; call < 2; call++ {
+		err := w.Close()
+		var crash *netmedium.CrashError
+		if !errors.As(err, &crash) {
+			t.Fatalf("close call %d: error %v, want a *CrashError", call, err)
+		}
+		if len(crash.Devices) != 1 || crash.Devices[0] != 4 {
+			t.Fatalf("close call %d: crashed devices %v, want [4]", call, crash.Devices)
+		}
+	}
+}
+
+// TestFaultPlanDeterministic runs the same faulted configuration twice
+// and requires identical results — the plan's purity seen end to end.
+func TestFaultPlanDeterministic(t *testing.T) {
+	cfg := core.Config{
+		Deploy:       topo.Grid(3, 3, 5),
+		ProtocolName: "OneHopRB",
+		Msg:          bitcodec.NewMessage(0b110, 3),
+		SourceID:     0,
+		Seed:         11,
+	}
+	runOnce := func() core.Result {
+		w, err := core.Build(cfg, core.WithTransport(netmedium.Transport{
+			Retry:  soakRetry,
+			Faults: soakPlan(0xD15EA5E),
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			if err := w.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}()
+		return w.Run(5_000)
+	}
+	if a, b := runOnce(), runOnce(); a != b {
+		t.Fatalf("same plan, different results:\n%+v\n%+v", a, b)
+	}
+}

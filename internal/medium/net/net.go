@@ -24,24 +24,40 @@
 // in-process in the resolver, which is what makes runs bit-identical to
 // the default in-process path for the same seed and deployment — the
 // sockets move device callbacks, not physics. Datagram loss is handled
-// by idempotent retransmission: the coordinator re-sends a request that
-// is not answered within Timeout, and endpoints replay the cached
-// response for a repeated round instead of re-invoking the device, so
-// device callbacks remain exactly-once. A request that remains
-// unanswered after Retries attempts panics — on loopback that means the
-// process is broken, not the network.
+// by idempotent retransmission under a configurable RetryPolicy
+// (exponential backoff, seeded jitter, retry budget, hard deadline);
+// endpoints replay the cached response for a repeated round instead of
+// re-invoking the device and drop requests for rounds they have already
+// moved past, so device callbacks remain exactly-once even when
+// datagrams are lost, duplicated, delayed, or reordered.
+//
+// Faults can be injected deliberately: a faultnet.Plan wrapped around
+// both socket paths (Transport.Faults) drops, duplicates, and delays
+// datagrams as a pure function of each datagram's identity. For any
+// recoverable plan — one whose SureAttempt lies within the retry
+// budget — results are byte-identical to the fault-free run, which the
+// package's soak tests pin. When a request exhausts its retry budget or
+// deadline, the coordinator declares the endpoint crashed and degrades
+// gracefully: the device sleeps forever, every round still completes,
+// and Close reports the casualties as a *CrashError instead of the run
+// hanging or panicking.
 package netmedium
 
 import (
-	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
+	"encoding/binary"
+
 	"authradio/internal/bitcodec"
+	"authradio/internal/faultnet"
 	"authradio/internal/radio"
 	"authradio/internal/sim"
+	"authradio/internal/xrand"
 )
 
 // Datagram kinds.
@@ -58,33 +74,138 @@ const hdrLen = 1 + 4 + 8
 // maxPacket bounds a datagram: header + step body + a wire frame.
 const maxPacket = hdrLen + 1 + 8 + bitcodec.FrameWireLen + 16
 
-// Transport hosts every engine device behind its own loopback UDP
-// socket. The zero value is ready to use; install with core.WithTransport
-// or sim.Engine.UseTransport, and Close the world/engine afterwards to
-// release sockets and goroutines.
-type Transport struct {
-	// Timeout is how long the coordinator waits for a response before
-	// retransmitting a request (default 250ms).
+// RetryPolicy defaults.
+const (
+	// DefaultTimeout is the initial response timeout.
+	DefaultTimeout = 250 * time.Millisecond
+	// DefaultBackoff is the timeout growth factor per retransmission.
+	DefaultBackoff = 2.0
+	// DefaultMaxTimeout caps the backed-off timeout.
+	DefaultMaxTimeout = 2 * time.Second
+	// DefaultRetries is the retransmission budget after the first send.
+	DefaultRetries = 20
+	// DefaultDeadline is the hard wall-clock cap for one request,
+	// retries included, after which the endpoint is declared crashed.
+	DefaultDeadline = 30 * time.Second
+)
+
+// RetryPolicy configures the coordinator's retransmission loop. The
+// zero value selects every default; explicit negatives disable where
+// documented.
+type RetryPolicy struct {
+	// Timeout is the wait for the first response (default
+	// DefaultTimeout).
 	Timeout time.Duration
-	// Retries is how many times a request is retransmitted before the
-	// run panics (default 20).
+	// Backoff multiplies the timeout after each retransmission; values
+	// below 1 (including the zero value's default substitution) are
+	// clamped to 1, 0 selects DefaultBackoff.
+	Backoff float64
+	// MaxTimeout caps the backed-off timeout (default DefaultMaxTimeout).
+	MaxTimeout time.Duration
+	// Jitter spreads each attempt's timeout uniformly in
+	// [1-Jitter, 1+Jitter) x timeout, drawn from a seeded stateless
+	// stream so wall-clock behaviour is reproducible. Clamped to [0, 1).
+	Jitter float64
+	// Retries is the retransmission budget after the first send: 0
+	// selects DefaultRetries, negative means no retransmission at all.
 	Retries int
+	// Deadline is the hard wall-clock cap for one request including all
+	// retries; when it expires the endpoint is declared crashed even if
+	// retries remain. 0 selects DefaultDeadline, negative disables the
+	// cap (the retry budget alone bounds the request).
+	Deadline time.Duration
+	// Seed drives the jitter stream.
+	Seed uint64
+}
+
+// withDefaults resolves the zero-value conventions.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Timeout <= 0 {
+		p.Timeout = DefaultTimeout
+	}
+	if p.Backoff == 0 {
+		p.Backoff = DefaultBackoff
+	}
+	if p.Backoff < 1 {
+		p.Backoff = 1
+	}
+	if p.MaxTimeout <= 0 {
+		p.MaxTimeout = DefaultMaxTimeout
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter >= 1 {
+		p.Jitter = 0.999
+	}
+	if p.Retries == 0 {
+		p.Retries = DefaultRetries
+	} else if p.Retries < 0 {
+		p.Retries = 0
+	}
+	if p.Deadline == 0 {
+		p.Deadline = DefaultDeadline
+	}
+	return p
+}
+
+// wait returns the jittered timeout for one attempt. The draw is a pure
+// function of (seed, kind, ix, r, attempt), so a rerun waits the same.
+func (p RetryPolicy) wait(timeout time.Duration, kind byte, ix int32, r uint64, attempt uint32) time.Duration {
+	if p.Jitter == 0 {
+		return timeout
+	}
+	h := xrand.Hash64(p.Seed, 0x1177E4, uint64(kind), uint64(uint32(ix)), r, uint64(attempt))
+	u := float64(h>>11) / (1 << 53) // [0, 1)
+	f := 1 + p.Jitter*(2*u-1)
+	d := time.Duration(f * float64(timeout))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// CrashError reports the devices the coordinator declared crashed
+// (retry budget or deadline exhausted). It is returned by Close (via
+// World.Close / Engine.Close) so a degraded run can name its casualties.
+type CrashError struct {
+	// Devices holds the crashed devices' compact engine indices, sorted.
+	Devices []int
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("netmedium: %d endpoint(s) declared crashed (retry budget exhausted): devices %v",
+		len(e.Devices), e.Devices)
+}
+
+// Transport hosts every engine device behind its own loopback UDP
+// socket. The zero value is ready to use; install with
+// core.WithTransport or sim.Engine.UseTransport, and Close the
+// world/engine afterwards to release sockets and goroutines — and to
+// learn of any crashed endpoints.
+type Transport struct {
+	// Retry configures retransmission; the zero value selects the
+	// defaults (250ms initial timeout, x2 backoff capped at 2s, 20
+	// retries, 30s deadline).
+	Retry RetryPolicy
+	// Faults, when non-nil, wraps both socket paths in a deterministic
+	// fault plan: each datagram send consults the plan and may be
+	// dropped, duplicated, or delayed (which also reorders it against
+	// later traffic).
+	Faults *faultnet.Plan
+	// InvokeHook, when non-nil, is called by the endpoint for every
+	// actual device invocation — not for replayed responses — with the
+	// request kind (1 = wake, 3 = deliver). Tests use it to assert
+	// exactly-once callbacks under fault plans. It runs on endpoint
+	// goroutines; the hook must be safe for concurrent use.
+	InvokeHook func(kind byte, ix int32, r uint64)
 }
 
 // Driver implements sim.Transport: it opens one socket per device plus
 // a coordinator socket, starts the endpoint goroutines, and wraps the
 // standard resolver around a Caller that speaks the datagram protocol.
 func (t Transport) Driver(e *sim.Engine) (sim.RoundDriver, error) {
-	timeout := t.Timeout
-	if timeout <= 0 {
-		timeout = 250 * time.Millisecond
-	}
-	retries := t.Retries
-	if retries <= 0 {
-		retries = 20
-	}
-
-	co := &coordinator{timeout: timeout, retries: retries}
+	co := &coordinator{policy: t.Retry.withDefaults(), faults: t.Faults}
 	ok := false
 	defer func() {
 		if !ok {
@@ -102,16 +223,20 @@ func (t Transport) Driver(e *sim.Engine) (sim.RoundDriver, error) {
 	co.peers = make([]*net.UDPAddr, n)
 	co.resp = make([]chan []byte, n)
 	co.endpoints = make([]*endpoint, n)
+	co.crashed = make([]bool, n)
 	for ix := 0; ix < n; ix++ {
 		econn, err := listenLoopback()
 		if err != nil {
 			return nil, fmt.Errorf("netmedium: endpoint %d socket: %w", ix, err)
 		}
 		ep := &endpoint{
-			ix:   int32(ix),
-			dev:  e.DeviceAt(ix),
-			conn: econn,
-			coor: conn.LocalAddr().(*net.UDPAddr),
+			ix:     int32(ix),
+			dev:    e.DeviceAt(ix),
+			conn:   econn,
+			coor:   conn.LocalAddr().(*net.UDPAddr),
+			faults: t.Faults,
+			hook:   t.InvokeHook,
+			sendWG: &co.sendWG,
 		}
 		co.peers[ix] = econn.LocalAddr().(*net.UDPAddr)
 		co.resp[ix] = make(chan []byte, 4)
@@ -164,16 +289,35 @@ type coordinator struct {
 	peers     []*net.UDPAddr
 	resp      []chan []byte
 	endpoints []*endpoint
-	timeout   time.Duration
-	retries   int
+	policy    RetryPolicy
+	faults    *faultnet.Plan
+
+	// crashMu guards crashed / crashOrder. crashed[ix] short-circuits
+	// further traffic to a declared-dead endpoint; crashOrder remembers
+	// declaration order for the Close report.
+	crashMu    sync.Mutex
+	crashed    []bool
+	crashOrder []int
+
+	// sendWG tracks fault-delayed datagrams still scheduled on timers
+	// (both directions); Close waits for them so no goroutine outlives
+	// the transport.
+	sendWG sync.WaitGroup
+
 	closeOnce sync.Once
+	closeErr  error
 	wg        sync.WaitGroup
 }
 
-// Wake implements sim.Caller over a WAKE/STEP exchange.
+// Wake implements sim.Caller over a WAKE/STEP exchange. A crashed
+// endpoint yields a permanent sleep: the engine never schedules the
+// device again and the round barrier stays intact.
 func (c *coordinator) Wake(ix int32, r uint64) sim.Step {
 	req := appendHeader(make([]byte, 0, hdrLen), kindWake, ix, r)
-	body := c.roundTrip(ix, r, req, kindStep)
+	body, alive := c.roundTrip(ix, r, req, kindWake, kindStep)
+	if !alive {
+		return sim.Step{Action: sim.Sleep, NextWake: sim.NoWake}
+	}
 	step, err := decodeStep(body)
 	if err != nil {
 		panic(fmt.Sprintf("netmedium: endpoint %d round %d: %v", ix, r, err))
@@ -181,24 +325,63 @@ func (c *coordinator) Wake(ix int32, r uint64) sim.Step {
 	return step
 }
 
-// Deliver implements sim.Caller over an OBS/ACK exchange.
+// Deliver implements sim.Caller over an OBS/ACK exchange. Deliveries to
+// crashed endpoints are dropped.
 func (c *coordinator) Deliver(ix int32, r uint64, obs radio.Obs) {
 	req := appendHeader(make([]byte, 0, maxPacket), kindObs, ix, r)
 	req = bitcodec.AppendObs(req, obs)
-	c.roundTrip(ix, r, req, kindAck)
+	c.roundTrip(ix, r, req, kindObs, kindAck)
+}
+
+// isCrashed reports whether ix has been declared crashed.
+func (c *coordinator) isCrashed(ix int32) bool {
+	c.crashMu.Lock()
+	defer c.crashMu.Unlock()
+	return c.crashed[ix]
+}
+
+// declareCrash marks ix crashed (idempotent).
+func (c *coordinator) declareCrash(ix int32) {
+	c.crashMu.Lock()
+	defer c.crashMu.Unlock()
+	if !c.crashed[ix] {
+		c.crashed[ix] = true
+		c.crashOrder = append(c.crashOrder, int(ix))
+	}
 }
 
 // roundTrip sends req to endpoint ix until a response for round r with
-// the wanted kind arrives, and returns the response body (the bytes
-// after the header). Stale responses — retransmission echoes for an
-// earlier request of the same index — are discarded by their round
-// number and kind.
-func (c *coordinator) roundTrip(ix int32, r uint64, req []byte, wantKind byte) []byte {
-	for attempt := 0; attempt <= c.retries; attempt++ {
-		if _, err := c.conn.WriteToUDP(req, c.peers[ix]); err != nil {
-			panic(fmt.Sprintf("netmedium: send to endpoint %d: %v", ix, err))
+// the wanted kind arrives, retransmitting under the retry policy, and
+// returns the response body and true. When the retry budget or the
+// request deadline is exhausted — or the endpoint was already declared
+// crashed — it returns (nil, false) instead of blocking forever: the
+// endpoint is declared crashed and the caller degrades. Stale responses
+// — retransmission echoes for an earlier request of the same index —
+// are discarded by their round number and kind.
+func (c *coordinator) roundTrip(ix int32, r uint64, req []byte, reqKind, wantKind byte) ([]byte, bool) {
+	if c.isCrashed(ix) {
+		return nil, false
+	}
+	var hardDeadline time.Time
+	if c.policy.Deadline > 0 {
+		hardDeadline = time.Now().Add(c.policy.Deadline)
+	}
+	timeout := c.policy.Timeout
+	for attempt := uint32(0); attempt <= uint32(c.policy.Retries); attempt++ {
+		if !hardDeadline.IsZero() && !time.Now().Before(hardDeadline) {
+			break
 		}
-		deadline := time.NewTimer(c.timeout)
+		c.send(reqKind, ix, r, req, attempt)
+		wait := c.policy.wait(timeout, reqKind, ix, r, attempt)
+		if !hardDeadline.IsZero() {
+			if rem := time.Until(hardDeadline); rem < wait {
+				wait = rem
+			}
+			if wait <= 0 {
+				break
+			}
+		}
+		deadline := time.NewTimer(wait)
 		for {
 			select {
 			case pkt := <-c.resp[ix]:
@@ -215,14 +398,52 @@ func (c *coordinator) roundTrip(ix int32, r uint64, req []byte, wantKind byte) [
 				//lint:ignore SA2001 an empty critical section is the point:
 				// the lock/unlock pair is a cross-goroutine memory barrier.
 				ep.mu.Unlock()
-				return body
+				return body, true
 			case <-deadline.C:
 			}
 			break
 		}
+		if t := time.Duration(float64(timeout) * c.policy.Backoff); t < c.policy.MaxTimeout {
+			timeout = t
+		} else {
+			timeout = c.policy.MaxTimeout
+		}
 	}
-	panic(fmt.Sprintf("netmedium: endpoint %d unresponsive after %d attempts (round %d)",
-		ix, c.retries+1, r))
+	c.declareCrash(ix)
+	return nil, false
+}
+
+// send transmits one request datagram, consulting the fault plan.
+func (c *coordinator) send(reqKind byte, ix int32, r uint64, req []byte, attempt uint32) {
+	v := c.faults.Verdict(faultnet.DirRequest, reqKind, ix, r, attempt)
+	transmit(c.conn, c.peers[ix], req, v, &c.sendWG)
+}
+
+// transmit applies a fault verdict to one datagram send. Send errors
+// are deliberately ignored: during shutdown and after crash
+// declarations sockets close under in-flight traffic, and the retry
+// loop (not the send path) owns failure handling.
+func transmit(conn *net.UDPConn, to *net.UDPAddr, pkt []byte, v faultnet.Verdict, wg *sync.WaitGroup) {
+	if v.Drop {
+		return
+	}
+	n := 1
+	if v.Dup {
+		n = 2
+	}
+	if v.Delay > 0 {
+		wg.Add(1)
+		time.AfterFunc(v.Delay, func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				_, _ = conn.WriteToUDP(pkt, to)
+			}
+		})
+		return
+	}
+	for i := 0; i < n; i++ {
+		_, _ = conn.WriteToUDP(pkt, to)
+	}
 }
 
 // demux reads the coordinator socket and routes each response to its
@@ -247,42 +468,70 @@ func (c *coordinator) demux() {
 	}
 }
 
-// Close shuts every socket down and waits for the endpoint and demux
-// goroutines to drain. Safe to call more than once.
+// Close shuts every socket down, waits for the endpoint, demux, and
+// delayed-send goroutines to drain, and returns the transport's
+// failures: socket shutdown errors joined with a *CrashError naming any
+// endpoints declared crashed during the run. Safe to call more than
+// once; repeat calls return the same error.
 func (c *coordinator) Close() error {
 	c.closeOnce.Do(func() {
+		var errs []error
 		if c.conn != nil {
-			c.conn.Close()
+			if err := c.conn.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("netmedium: coordinator socket: %w", err))
+			}
 		}
-		for _, ep := range c.endpoints {
-			if ep != nil {
-				ep.conn.Close()
+		for ix, ep := range c.endpoints {
+			if ep == nil {
+				continue
+			}
+			if err := ep.conn.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("netmedium: endpoint %d socket: %w", ix, err))
 			}
 		}
 		c.wg.Wait()
+		c.sendWG.Wait()
+		c.crashMu.Lock()
+		if len(c.crashOrder) > 0 {
+			devs := append([]int(nil), c.crashOrder...)
+			sort.Ints(devs)
+			errs = append([]error{&CrashError{Devices: devs}}, errs...)
+		}
+		c.crashMu.Unlock()
+		c.closeErr = errors.Join(errs...)
 	})
-	return nil
+	return c.closeErr
 }
 
 // endpoint hosts one device: a goroutine that answers WAKE and OBS
-// datagrams by invoking the device and replying with STEP and ACK. The
-// last response is cached so a retransmitted request is answered
-// without re-invoking the device (exactly-once callbacks).
+// datagrams by invoking the device and replying with STEP and ACK.
+// Responses are cached per request kind so a retransmitted request is
+// answered without re-invoking the device, and requests for rounds the
+// endpoint has already moved past are dropped outright — together this
+// keeps device callbacks exactly-once under loss, duplication, delay,
+// and reordering (per kind, request rounds only ever increase).
 type endpoint struct {
-	ix   int32
-	dev  sim.Device
-	conn *net.UDPConn
-	coor *net.UDPAddr
+	ix     int32
+	dev    sim.Device
+	conn   *net.UDPConn
+	coor   *net.UDPAddr
+	faults *faultnet.Plan
+	hook   func(kind byte, ix int32, r uint64)
+	sendWG *sync.WaitGroup
 
 	// mu is held while the device is invoked; the coordinator acquires
 	// it after receiving the response. The datagram carries the data,
 	// the mutex carries the memory barrier: device state mutated on
 	// this goroutine becomes visible to the engine's goroutines, which
 	// read it through Status methods between rounds.
-	mu       sync.Mutex
-	lastKey  uint64 // round of the cached response
-	lastKind byte   // request kind the cache answers
-	lastResp []byte
+	mu sync.Mutex
+	// Per-kind replay caches: the round and cached response of the
+	// latest wake and obs requests, plus how many times each response
+	// has been sent (the response-side fault attempt counter).
+	wakeSeen, obsSeen   bool
+	wakeR, obsR         uint64
+	wakeResp, obsResp   []byte
+	wakeSends, obsSends uint32
 }
 
 func (ep *endpoint) serve() {
@@ -296,41 +545,61 @@ func (ep *endpoint) serve() {
 		if err != nil || ix != ep.ix {
 			continue
 		}
-		if resp := ep.handle(kind, r, body); resp != nil {
-			ep.send(resp)
+		if resp, respKind, attempt := ep.handle(kind, r, body); resp != nil {
+			v := ep.faults.Verdict(faultnet.DirResponse, respKind, ep.ix, r, attempt)
+			transmit(ep.conn, ep.coor, resp, v, ep.sendWG)
 		}
 	}
 }
 
 // handle processes one request under the endpoint's mutex and returns
-// the response to send (nil for a malformed request).
-func (ep *endpoint) handle(kind byte, r uint64, body []byte) []byte {
+// the response to send with its kind and send-attempt counter (nil for
+// a malformed or stale request). The device is invoked only for a round
+// strictly beyond the kind's cache; the same round replays the cache
+// and an earlier round — a delayed duplicate the coordinator has
+// already moved past — is dropped so a device is never re-invoked for,
+// or confused by, history.
+func (ep *endpoint) handle(kind byte, r uint64, body []byte) ([]byte, byte, uint32) {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
-	if ep.lastResp != nil && ep.lastKind == kind && ep.lastKey == r {
-		return ep.lastResp // duplicate: replay, do not re-invoke
-	}
-	var resp []byte
 	switch kind {
 	case kindWake:
+		if ep.wakeSeen && r < ep.wakeR {
+			return nil, 0, 0 // stale: already past this round
+		}
+		if ep.wakeSeen && r == ep.wakeR && ep.wakeResp != nil {
+			ep.wakeSends++
+			return ep.wakeResp, kindStep, ep.wakeSends
+		}
+		if ep.hook != nil {
+			ep.hook(kindWake, ep.ix, r)
+		}
 		step := ep.dev.Wake(r)
-		resp = appendStep(appendHeader(make([]byte, 0, maxPacket), kindStep, ep.ix, r), step)
+		resp := appendStep(appendHeader(make([]byte, 0, maxPacket), kindStep, ep.ix, r), step)
+		ep.wakeSeen, ep.wakeR, ep.wakeResp, ep.wakeSends = true, r, resp, 0
+		return resp, kindStep, 0
 	case kindObs:
+		if ep.obsSeen && r < ep.obsR {
+			return nil, 0, 0
+		}
+		if ep.obsSeen && r == ep.obsR && ep.obsResp != nil {
+			ep.obsSends++
+			return ep.obsResp, kindAck, ep.obsSends
+		}
 		obs, rest, err := bitcodec.DecodeObs(body)
 		if err != nil || len(rest) != 0 {
-			return nil
+			return nil, 0, 0
+		}
+		if ep.hook != nil {
+			ep.hook(kindObs, ep.ix, r)
 		}
 		ep.dev.Deliver(r, obs)
-		resp = appendHeader(make([]byte, 0, hdrLen), kindAck, ep.ix, r)
+		resp := appendHeader(make([]byte, 0, hdrLen), kindAck, ep.ix, r)
+		ep.obsSeen, ep.obsR, ep.obsResp, ep.obsSends = true, r, resp, 0
+		return resp, kindAck, 0
 	default:
-		return nil
+		return nil, 0, 0
 	}
-	ep.lastKey, ep.lastKind, ep.lastResp = r, kind, resp
-	return resp
-}
-
-func (ep *endpoint) send(pkt []byte) {
-	_, _ = ep.conn.WriteToUDP(pkt, ep.coor)
 }
 
 // appendHeader appends the common [kind][ix][r] datagram prefix.

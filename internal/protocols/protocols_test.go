@@ -214,6 +214,15 @@ func TestRegistryMatchesPR2Output(t *testing.T) {
 		core.MultiPathRB:      {EndRound: 0xf6eb, Honest: 46, Complete: 46, Correct: 46, AllComplete: true, LastCompletion: 0xf616, HonestTx: 0x19a61, ByzTx: 0x74c},
 		core.EpidemicRB:       {EndRound: 0x12d, Honest: 46, Complete: 46, Correct: 39, AllComplete: true, LastCompletion: 0xc0, HonestTx: 0x2c, ByzTx: 0x10},
 	}
+	for p, r := range want {
+		// The partition metrics postdate the PR 2 capture and are pure
+		// functions of the deployment and roles, identical for all four
+		// protocols: the 7x7 grid stays one component of the 48 live
+		// devices (the jammer is not a graph member), and the source's
+		// component holds all 46 honest nodes.
+		r.Components, r.SrcCompSize, r.SrcHonest, r.SrcComplete = 1, 48, 46, 46
+		want[p] = r
+	}
 	for p, pinned := range want {
 		t.Run(p.String(), func(t *testing.T) {
 			byEnum, err := core.Build(pinnedConfig(p))
