@@ -1,12 +1,21 @@
 # Convenience targets; everything here is plain go tool invocations.
 
-.PHONY: test race golden golden-check fuzz
+.PHONY: test race lint golden golden-check fuzz
 
 test:
 	go build ./... && go test ./...
 
 race:
-	go test -race ./internal/sim/... ./internal/experiment/... ./internal/adversary/... ./internal/medium/... ./internal/faultnet/...
+	go test -race ./...
+
+# Determinism lint: build rbvet (the repo's go/analysis-style
+# multichecker, see DESIGN.md "Determinism lint") and run it over the
+# whole module through cmd/go's -vettool protocol, so results are
+# cached per package like any other vet check. Findings exit nonzero;
+# suppressions happen in source via //rbvet:allow <analyzer> <reason>.
+lint:
+	go build -o bin/rbvet ./cmd/rbvet
+	go vet -vettool=$(CURDIR)/bin/rbvet ./...
 
 # Regenerate the checked-in golden JSON documents after a change that
 # intentionally moves the numbers (a new family instance, a new ladder
@@ -29,10 +38,11 @@ golden-check:
 			{ echo "GOLDEN DRIFT: $$exp (regenerate deliberately with 'make golden')"; status=1; }; \
 	done; exit $$status
 
-# Short local fuzz pass over the -param parser, the typed getters and
-# the adversary-mix label parser (CI replays the checked-in corpus
-# under testdata/fuzz on every run).
+# Short local fuzz pass over the -param parser, the typed getters, the
+# adversary-mix label parser and the fault-plan grammar (CI replays the
+# checked-in corpus under testdata/fuzz on every run).
 fuzz:
 	go test ./internal/core/ -fuzz FuzzParseParam -fuzztime 30s -run '^$$'
 	go test ./internal/core/ -fuzz FuzzParamsGetters -fuzztime 30s -run '^$$'
 	go test ./internal/experiment/ -fuzz FuzzParseMix -fuzztime 30s -run '^$$'
+	go test ./internal/faultnet/ -fuzz FuzzParsePlan -fuzztime 30s -run '^$$'

@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"authradio/internal/analysis"
 	"authradio/internal/bitcodec"
@@ -56,9 +57,15 @@ func main() {
 		analysis.TwoVoteTolerance(r), analysis.MultiPathTolerance(r), analysis.KooBound(r),
 		100*analysis.ByzantineFractionLimit(r))
 
-	// 6. Inspect an individual device.
-	for id, n := range world.Nodes {
-		if n.Complete() {
+	// 6. Inspect an individual device: the lowest-id completed one, so
+	//    the example's output is reproducible run to run.
+	ids := make([]int, 0, len(world.Nodes))
+	for id := range world.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if n := world.Nodes[id]; n.Complete() {
 			m, _ := n.Message()
 			fmt.Printf("e.g. device %d delivered %s at round %d\n", id, m, n.CompletedAt())
 			break

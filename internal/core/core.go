@@ -337,7 +337,7 @@ func Build(cfg Config, opts ...Option) (*World, error) {
 			budget = 1 << 30 // effectively unlimited
 		}
 		j := adversary.NewJammer(i, d.Pos[i], w.Cycle, budget, cfg.JamProb,
-			xrand.Derive(cfg.Seed, 0x4A41, uint64(i)))
+			xrand.Derive(cfg.Seed, xrand.LaneJam, uint64(i)))
 		j.VetoOnly = b.jamVetoOnly
 		w.Jammers = append(w.Jammers, j)
 		w.Eng.Add(j, 0)
@@ -355,7 +355,7 @@ func Build(cfg Config, opts ...Option) (*World, error) {
 			budget = 1 << 30 // effectively unlimited
 		}
 		sp := adversary.NewSpoofer(i, d.Pos[i], budget, cfg.SpoofProb,
-			xrand.Derive(cfg.Seed, 0x5B00F, uint64(i)))
+			xrand.Derive(cfg.Seed, xrand.LaneSpoof, uint64(i)))
 		w.Spoofers = append(w.Spoofers, sp)
 		w.Eng.Add(sp, 0)
 		w.byzIDs[i] = true
@@ -378,7 +378,7 @@ func Build(cfg Config, opts ...Option) (*World, error) {
 		}
 		for _, c := range w.Churners {
 			c.Schedule(outage*cycleRounds, cycleRounds,
-				xrand.Derive(cfg.Seed, 0xC402, uint64(c.ID())))
+				xrand.Derive(cfg.Seed, xrand.LaneChurn, uint64(c.ID())))
 		}
 	}
 

@@ -119,7 +119,7 @@ func (s Scenario) deployment(rep int) *topo.Deployment {
 	if ok {
 		return d
 	}
-	rng := xrand.Derive(s.Seed, 0xDE9, uint64(rep))
+	rng := xrand.Derive(s.Seed, xrand.LaneDeploy, uint64(rep))
 	switch s.Deploy {
 	case Clustered:
 		d = topo.Clustered(s.Nodes, s.Clusters, s.MapSide, s.Sigma, s.Range, rng)
@@ -144,7 +144,7 @@ func (s Scenario) roles(d *topo.Deployment, src, rep int) []core.Role {
 	if s.AdversaryMix.IsZero() {
 		return nil
 	}
-	rng := xrand.Derive(s.Seed, 0x401E5, uint64(rep))
+	rng := xrand.Derive(s.Seed, xrand.LaneRoles, uint64(rep))
 	roles := make([]core.Role, d.N())
 	assign := func(frac float64, r core.Role) {
 		if frac <= 0 {

@@ -24,6 +24,7 @@ package faultnet
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -98,13 +99,9 @@ type Verdict struct {
 	Delay time.Duration
 }
 
-// Lanes for the verdict hash; distinct per decision so the three draws
-// are independent.
-const (
-	laneDrop uint64 = 0xD409
-	laneDup  uint64 = 0xD0B1
-	laneHold uint64 = 0xDE1A
-)
+// The verdict hash draws through the registered fault lanes
+// (xrand.LaneFaultDrop/Dup/Hold/HoldMag), distinct per decision so the
+// draws are independent.
 
 // draw returns a uniform float64 in [0, 1) for one decision lane of one
 // datagram, as a pure function of the plan's seed and the datagram's
@@ -153,14 +150,14 @@ func (p *Plan) Verdict(dir, kind uint8, ix int32, r uint64, attempt uint32) Verd
 	if sure > 0 && attempt >= uint32(sure) {
 		return Verdict{}
 	}
-	if p.Drop > 0 && p.draw(laneDrop, dir, kind, ix, r, attempt) < p.Drop {
+	if p.Drop > 0 && p.draw(xrand.LaneFaultDrop, dir, kind, ix, r, attempt) < p.Drop {
 		return Verdict{Drop: true}
 	}
 	var v Verdict
-	if p.Dup > 0 && p.draw(laneDup, dir, kind, ix, r, attempt) < p.Dup {
+	if p.Dup > 0 && p.draw(xrand.LaneFaultDup, dir, kind, ix, r, attempt) < p.Dup {
 		v.Dup = true
 	}
-	if p.Delay > 0 && p.draw(laneHold, dir, kind, ix, r, attempt) < p.Delay {
+	if p.Delay > 0 && p.draw(xrand.LaneFaultHold, dir, kind, ix, r, attempt) < p.Delay {
 		maxd := p.MaxDelay
 		if maxd <= 0 {
 			maxd = DefaultMaxDelay
@@ -168,7 +165,7 @@ func (p *Plan) Verdict(dir, kind uint8, ix int32, r uint64, attempt uint32) Verd
 		// Uniform in (0, maxd]: reuse the hold draw's hash bits through
 		// a distinct lane so the magnitude is independent of the
 		// decision itself.
-		f := p.draw(laneHold^0xFFFF, dir, kind, ix, r, attempt)
+		f := p.draw(xrand.LaneFaultHoldMag, dir, kind, ix, r, attempt)
 		v.Delay = time.Duration(f*float64(maxd)) + 1
 	}
 	return v
@@ -234,7 +231,7 @@ func Parse(s string) (*Plan, error) {
 		}
 		rest = strings.TrimSuffix(rest, "%")
 		pctV, err := strconv.ParseFloat(rest, 64)
-		if err != nil || rest == "" {
+		if err != nil || rest == "" || math.IsNaN(pctV) {
 			return nil, fmt.Errorf("fault plan %q: component %q: bad percentage %q", s, part, rest)
 		}
 		if pctV <= 0 || pctV > 100 {

@@ -1,0 +1,58 @@
+package faultnet
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePlan checks that the drop10+dup5+delay20 grammar's parser
+// never panics, never accepts out-of-range rates, and that accepted
+// inputs reach a canonical fixed point: re-rendering via String()
+// yields a label that parses back to an identical plan.
+func FuzzParsePlan(f *testing.F) {
+	for _, seed := range []string{
+		"none", "NONE", " none ", "drop10", "dup5", "delay20",
+		"drop10+dup5+delay20", "drop7.5", "drop10%", "dup0.001",
+		"delay100", "drop10+delay20", "DROP10+DUP5",
+		"", "+", "drop", "drop0", "drop101", "drop-5", "dropx",
+		"drop10+drop5", "dup5%%", "delay1e1", "hold10", "drop10 dup5",
+		"drop1e-3", "dropNaN", "dropInf", "drop10++dup5",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := Parse(in)
+		if err != nil {
+			return
+		}
+		if strings.TrimSpace(in) == "" {
+			t.Fatalf("accepted blank input %q", in)
+		}
+		if p == nil {
+			// "none" (any case/padding) is the only nil-plan spelling.
+			if !strings.EqualFold(strings.TrimSpace(in), "none") {
+				t.Fatalf("accepted %q as a nil plan", in)
+			}
+			return
+		}
+		for _, r := range []struct {
+			name string
+			v    float64
+		}{{"drop", p.Drop}, {"dup", p.Dup}, {"delay", p.Delay}} {
+			if r.v < 0 || r.v > 1 {
+				t.Fatalf("parsed %q: %s rate %g out of [0,1]", in, r.name, r.v)
+			}
+		}
+		if !p.Active() {
+			t.Fatalf("parsed %q into an inactive non-nil plan %+v", in, *p)
+		}
+		canon := p.String()
+		p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical rendering %q of %q does not re-parse: %v", canon, in, err)
+		}
+		if p2 == nil || p2.Drop != p.Drop || p2.Dup != p.Dup || p2.Delay != p.Delay {
+			t.Fatalf("rendering not a fixed point: %q -> %q -> %+v (want %+v)", in, canon, p2, *p)
+		}
+	})
+}

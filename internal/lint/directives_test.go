@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseForDirectives(t *testing.T, src string) ([]Diagnostic, directiveSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bad []Diagnostic
+	ds := parseDirectives(fset, f, func(d Diagnostic) { bad = append(bad, d) })
+	return bad, ds
+}
+
+func TestDirectiveNoReasonIsMalformed(t *testing.T) {
+	bad, ds := parseForDirectives(t, "package p\n\n//rbvet:allow wallclock\nfunc f() {}\n")
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, "no reason") {
+		t.Fatalf("want one no-reason finding, got %v", bad)
+	}
+	if ds.allows("wallclock", 4) {
+		t.Fatal("reasonless directive must not suppress anything")
+	}
+}
+
+func TestDirectiveUnknownAnalyzer(t *testing.T) {
+	bad, ds := parseForDirectives(t, "package p\n\n//rbvet:allow frobnicate the gears need it\nfunc f() {}\n")
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, "unknown analyzer") {
+		t.Fatalf("want one unknown-analyzer finding, got %v", bad)
+	}
+	if ds.allows("frobnicate", 4) {
+		t.Fatal("unknown-analyzer directive must not suppress anything")
+	}
+}
+
+func TestDirectiveBare(t *testing.T) {
+	bad, _ := parseForDirectives(t, "package p\n\n//rbvet:allow\nfunc f() {}\n")
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, "malformed") {
+		t.Fatalf("want one malformed finding, got %v", bad)
+	}
+}
+
+func TestDirectiveScopesToLineAndNextLine(t *testing.T) {
+	src := "package p\n\n//rbvet:allow maporder sorted by the caller\nfunc f() {}\n"
+	bad, ds := parseForDirectives(t, src)
+	if len(bad) != 0 {
+		t.Fatalf("valid directive reported: %v", bad)
+	}
+	if !ds.allows("maporder", 3) || !ds.allows("maporder", 4) {
+		t.Fatal("directive must cover its own line and the next")
+	}
+	if ds.allows("maporder", 5) {
+		t.Fatal("directive must not leak past the next line")
+	}
+	if ds.allows("wallclock", 4) {
+		t.Fatal("directive must only cover the named analyzer")
+	}
+}
+
+func TestOrdinaryCommentsIgnored(t *testing.T) {
+	bad, ds := parseForDirectives(t, "package p\n\n// rbvet:allow wallclock spaced out, not a directive\nfunc f() {}\n")
+	if len(bad) != 0 || len(ds) != 0 {
+		t.Fatalf("spaced comment treated as directive: %v %v", bad, ds)
+	}
+}

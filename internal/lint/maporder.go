@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` over a map whose body lets the iteration order
+// escape: appending to a slice that outlives the loop without a
+// subsequent sort, printing or JSON-encoding, or feeding a
+// Table/JSONReport. This is exactly the bug class that would silently
+// break the byte-stable experiment goldens — the output differs run to
+// run while every individual value is "correct".
+//
+// Order-insensitive bodies (counters, map-to-map copies, min/max folds)
+// are not flagged. The blessed idiom — collect, then sort — is
+// recognized: an appended slice later passed to a sort call (sort.*,
+// slices.Sort*, or any function whose name contains "sort") in the same
+// function is exempt.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration whose order escapes (unsorted appends, fmt/json output, " +
+		"Table/JSONReport feeds); sort the result, iterate sorted keys, or //rbvet:allow maporder <reason>",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	if !inModule(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.TestFile(f) {
+			continue
+		}
+		forEachFuncBody(f, func(body *ast.BlockStmt) {
+			for _, rng := range rangesInBody(body) {
+				checkMapRange(pass, body, rng)
+			}
+		})
+	}
+	return nil
+}
+
+// forEachFuncBody visits the body of every function declaration and
+// function literal in the file.
+func forEachFuncBody(f *ast.File, fn func(body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n.Body)
+			}
+		case *ast.FuncLit:
+			fn(n.Body)
+		}
+		return true
+	})
+}
+
+// rangesInBody returns the range statements in body, excluding those
+// inside nested function literals (which are visited as their own
+// bodies).
+func rangesInBody(body *ast.BlockStmt) []*ast.RangeStmt {
+	var out []*ast.RangeStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if r, ok := n.(*ast.RangeStmt); ok {
+			out = append(out, r)
+		}
+		return true
+	})
+	return out
+}
+
+// appendSite is one `x = append(x, ...)` whose target outlives the map
+// range.
+type appendSite struct {
+	call   *ast.CallExpr
+	target ast.Expr   // the assignment's LHS
+	root   *types.Var // the variable at the root of the LHS
+}
+
+func checkMapRange(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+
+	var appends []appendSite
+	type softSink struct {
+		pos  ast.Node
+		name string
+	}
+	var softs []softSink
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) {
+					continue
+				}
+				root := rootVar(pass, n.Lhs[i])
+				if root == nil {
+					continue
+				}
+				// Escaping = declared outside the whole range statement
+				// (the range key/value variables count as inside).
+				if root.Pos() >= rng.Pos() && root.Pos() < rng.End() {
+					continue
+				}
+				appends = append(appends, appendSite{call: call, target: n.Lhs[i], root: root})
+			}
+		case *ast.CallExpr:
+			if name, hard := sinkCall(pass, n); name != "" {
+				if hard {
+					pass.Reportf(n.Pos(), "%s inside map iteration: byte-stable output cannot depend on map order; iterate sorted keys", name)
+				} else {
+					softs = append(softs, softSink{pos: n, name: name})
+				}
+			}
+		}
+		return true
+	})
+
+	// A Sprint/Errorf whose result feeds one of the recorded appends is
+	// governed by the append rule (and its sort exemption) instead.
+	inAppend := func(n ast.Node) bool {
+		for _, a := range appends {
+			if n.Pos() >= a.call.Pos() && n.End() <= a.call.End() {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range softs {
+		if !inAppend(s.pos) {
+			pass.Reportf(s.pos.Pos(), "%s inside map iteration: the formatted value escapes in map order; iterate sorted keys", s.name)
+		}
+	}
+
+	for _, a := range appends {
+		if sortedAfter(pass, fnBody, rng, a.root) {
+			continue
+		}
+		pass.Reportf(a.call.Pos(), "append to %s accumulates in map iteration order; sort the result or iterate sorted keys", types.ExprString(a.target))
+	}
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// rootVar resolves the variable at the root of an assignable expression
+// (out, n.interest, bySlot[k] → out, n, bySlot).
+func rootVar(pass *Pass, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			v, _ := pass.Info.ObjectOf(x).(*types.Var)
+			return v
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sinkCall classifies a call inside a map-range body. It returns the
+// display name and whether the sink is "hard" (always order-dependent:
+// stream output, JSON encoding, Table/JSONReport feeds) as opposed to
+// "soft" (Sprint-family formatting, whose escape is judged through the
+// append it feeds).
+func sinkCall(pass *Pass, call *ast.CallExpr) (name string, hard bool) {
+	var fn *types.Func
+	switch f := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		fn, _ = pass.Info.Uses[f.Sel].(*types.Func)
+	case *ast.Ident:
+		fn, _ = pass.Info.Uses[f].(*types.Func)
+	}
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return "fmt." + fn.Name(), true
+		case "Sprint", "Sprintf", "Sprintln", "Appendf", "Append", "Appendln", "Errorf":
+			return "fmt." + fn.Name(), false
+		}
+		return "", false
+	case "encoding/json":
+		switch fn.Name() {
+		case "Marshal", "MarshalIndent", "Encode":
+			return "json." + fn.Name(), true
+		}
+		return "", false
+	}
+	// Repo sinks, by shape: Table.Add and WriteJSON feed the byte-stable
+	// experiment output.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			recv := named.Obj().Name()
+			if (recv == "Table" || recv == "JSONReport") && fn.Name() == "Add" {
+				return recv + ".Add", true
+			}
+		}
+		return "", false
+	}
+	if fn.Name() == "WriteJSON" && inModule(fn.Pkg().Path()) {
+		return fn.Pkg().Name() + ".WriteJSON", true
+	}
+	return "", false
+}
+
+// sortedAfter reports whether, after the range statement in the same
+// function, root is passed to a sort call — any callee whose name
+// contains "sort" (sort.Strings, slices.SortFunc, a local sortInts, …).
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, root *types.Var) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		// The full callee expression, so both the selector and the
+		// qualifier count: sort.Slice, slices.SortFunc, sortInts.
+		callee := types.ExprString(call.Fun)
+		if !strings.Contains(strings.ToLower(callee), "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && pass.Info.ObjectOf(id) == root {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,45 @@
+// Fixture for the lanelabel analyzer at Derive/Hash64 call sites,
+// linked against the real internal/xrand registry.
+package lanefix
+
+import "authradio/internal/xrand"
+
+func registered(seed uint64, id int32) {
+	_ = xrand.Derive(seed, xrand.LaneGossip, uint64(id))
+	_ = xrand.Hash64(seed, xrand.LaneFadeListener^uint64(id), xrand.LaneFadeSrc^uint64(id))
+}
+
+func unregistered(seed uint64, id int32) {
+	_ = xrand.Derive(seed, 0xBEEF, uint64(id)) // want `unregistered lane label 0xbeef passed to xrand.Derive`
+}
+
+func magicLiteral(seed uint64, id int32) {
+	_ = xrand.Derive(seed, 0xDE9)             // want `magic lane literal 0xde9 passed to xrand.Derive: reference the registry constant xrand.LaneDeploy`
+	_ = xrand.Hash64(seed, 0x4a41^uint64(id)) // want `magic lane literal 0x4a41 passed to xrand.Hash64: reference the registry constant xrand.LaneJam`
+}
+
+// A private alias hides the registry linkage just as badly as a bare
+// literal: the expression must mention the xrand.Lane* constant.
+const shadowLane = 0xC402
+
+func aliasedLiteral(seed uint64) {
+	_ = xrand.Derive(seed, shadowLane) // want `magic lane literal 0xc402 passed to xrand.Derive: reference the registry constant xrand.LaneChurn`
+}
+
+// Non-constant words (ids, rounds, attempt counters) are data, not
+// labels; nothing to check.
+func variableWords(seed, round uint64, id int32) {
+	_ = xrand.Hash64(seed, round, uint64(id))
+}
+
+// Spread calls carry a word slice whose contents are not statically
+// constant.
+func spread(seed uint64, words []uint64) {
+	_ = xrand.Hash64(words...)
+	_ = seed
+}
+
+func allowed(seed uint64) {
+	//rbvet:allow lanelabel migration shim pending lane registration
+	_ = xrand.Derive(seed, 0x777)
+}

@@ -1,0 +1,19 @@
+// Fixture for the lanelabel analyzer's registry checks, type-checked
+// as if it were authradio/internal/xrand itself: Lane constants must
+// have distinct values and all appear in the Lanes table.
+package xrand
+
+const (
+	LaneAlpha = 0x1
+	LaneBeta  = 0x1 // want `lane value 0x1 of LaneBeta collides with LaneAlpha`
+	LaneGamma = 0x2
+	LaneDelta = 0x3 // want `lane constant LaneDelta is not listed in the Lanes table`
+)
+
+// LaneBeta cannot appear as a key here: with LaneAlpha's equal value it
+// would be a duplicate map key, which is already a compile error — the
+// table and the collision check back each other up.
+var Lanes = map[uint64]string{
+	LaneAlpha: "LaneAlpha",
+	LaneGamma: "LaneGamma",
+}

@@ -1,0 +1,142 @@
+// Fixture for the maporder analyzer: map iteration whose order escapes
+// into output is flagged; order-insensitive bodies and the
+// collect-then-sort idiom are not.
+package maporderfix
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+func badAppend(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want `append to keys accumulates in map iteration order`
+	}
+	return keys
+}
+
+func sortedAppend(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func sortedLater(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	total := 0
+	for _, k := range keys {
+		total += k
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	_ = total
+	return keys
+}
+
+func badPrint(m map[int]string) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt.Println inside map iteration`
+	}
+}
+
+func badJSON(m map[string]int) [][]byte {
+	var rows [][]byte
+	for k := range m {
+		b, _ := json.Marshal(k) // want `json.Marshal inside map iteration`
+		rows = append(rows, b)  // want `append to rows accumulates in map iteration order`
+	}
+	return rows
+}
+
+type Table struct{ rows [][]string }
+
+func (t *Table) Add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func badTable(t *Table, m map[int]string) {
+	for _, v := range m {
+		t.Add(v) // want `Table.Add inside map iteration`
+	}
+}
+
+func badErr(m map[int]string) error {
+	for k := range m {
+		if k < 0 {
+			return fmt.Errorf("bad key %d", k) // want `fmt.Errorf inside map iteration`
+		}
+	}
+	return nil
+}
+
+// Sprintf feeding an append that is sorted afterwards is the blessed
+// collect-then-sort idiom: no finding on either the Sprintf or the
+// append.
+func sprintfSorted(m map[int]string) []string {
+	var parts []string
+	for k, v := range m {
+		parts = append(parts, fmt.Sprintf("%d=%s", k, v))
+	}
+	sort.Strings(parts)
+	return parts
+}
+
+// Order-insensitive bodies: counters, map-to-map copies, folds.
+func counter(m map[int]string) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func mapCopy(dst, src map[int]string) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func maxFold(m map[int]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Appending to a slice that lives and dies inside the loop body leaks
+// nothing.
+func scratchAppend(m map[int][]int) int {
+	longest := 0
+	for _, vs := range m {
+		var scratch []int
+		scratch = append(scratch, vs...)
+		if len(scratch) > longest {
+			longest = len(scratch)
+		}
+	}
+	return longest
+}
+
+// Ranging over a slice is never flagged, even with escaping appends.
+func sliceRange(vs []int) []int {
+	var out []int
+	for _, v := range vs {
+		out = append(out, v)
+	}
+	return out
+}
+
+func allowedPrint(m map[int]string) {
+	for k, v := range m {
+		//rbvet:allow maporder debug dump, not part of byte-stable output
+		fmt.Println(k, v)
+	}
+}

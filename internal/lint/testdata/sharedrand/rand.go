@@ -1,0 +1,65 @@
+// Fixture for the sharedrand analyzer: *xrand.Rand must not cross a
+// goroutine or parallel fan-out boundary.
+package randfix
+
+import "authradio/internal/xrand"
+
+func goCapture(r *xrand.Rand) {
+	go func() {
+		_ = r.Uint64() // want `\*xrand.Rand "r" captured by a goroutine`
+	}()
+}
+
+func goArg(r *xrand.Rand) {
+	go consume(r) // want `\*xrand.Rand r passed to a goroutine`
+}
+
+func consume(r *xrand.Rand) { _ = r.Uint64() }
+
+// A stand-in for the engine's worker fan-out helper: any callee whose
+// name contains "parallel" counts as a worker boundary.
+func parallelDo(n int, f func(i int)) {
+	for i := 0; i < n; i++ {
+		f(i)
+	}
+}
+
+func parallelCapture(r *xrand.Rand) {
+	parallelDo(4, func(i int) {
+		_ = r.Intn(10) // want `\*xrand.Rand "r" captured by parallelDo's worker closure`
+	})
+}
+
+func runParallel(r *xrand.Rand, n int) {}
+
+func parallelArg(r *xrand.Rand) {
+	runParallel(r, 4) // want `\*xrand.Rand r passed into runParallel`
+}
+
+// The blessed idiom: each worker derives its own stream from a seed
+// and a stable index. Nothing crosses the boundary but plain words.
+func derivedInside(seed uint64) {
+	parallelDo(4, func(i int) {
+		r := xrand.Derive(seed, xrand.LaneDeploy, uint64(i))
+		_ = r.Uint64()
+	})
+	go func() {
+		r := xrand.Derive(seed, xrand.LaneRoles, 1)
+		_ = r.Uint64()
+	}()
+}
+
+// Streams may move around freely in sequential code.
+func sequentialUse(r *xrand.Rand) uint64 {
+	helper(r)
+	return r.Uint64()
+}
+
+func helper(r *xrand.Rand) { _ = r.Intn(3) }
+
+func allowedHandoff(r *xrand.Rand) {
+	go func() {
+		//rbvet:allow sharedrand exclusive handoff, the caller never draws again
+		_ = r.Uint64()
+	}()
+}

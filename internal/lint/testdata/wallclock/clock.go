@@ -1,0 +1,32 @@
+// Fixture for the wallclock analyzer, checked as if it were
+// authradio/internal/sim (inside the deterministic scope).
+package sim
+
+import (
+	"math/rand" // want `import of math/rand in deterministic package`
+	"time"
+)
+
+func bad() {
+	_ = time.Now()               // want `time.Now in deterministic package`
+	time.Sleep(time.Millisecond) // want `time.Sleep in deterministic package`
+	_ = time.Until(time.Time{})  // want `time.Until in deterministic package`
+	<-time.After(time.Second)    // want `time.After in deterministic package`
+	_ = time.NewTimer(0)         // want `time.NewTimer in deterministic package`
+	_ = rand.Int()
+}
+
+func allowedAbove() {
+	//rbvet:allow wallclock fixture exercising the line-above directive
+	_ = time.Now()
+}
+
+func allowedTrailing() {
+	_ = time.Since(time.Time{}) //rbvet:allow wallclock fixture exercising the trailing directive
+}
+
+// Pure time arithmetic is legal: deterministic code may configure
+// durations as long as only the transport acts on them.
+func durationsAreFine() time.Duration {
+	return 3*time.Second + 500*time.Millisecond
+}

@@ -1,0 +1,10 @@
+// Test scaffolding is exempt: determinism binds the shipped simulator,
+// not its tests, which legitimately use deadlines.
+package sim
+
+import "time"
+
+func testHelperClock() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

@@ -1,0 +1,16 @@
+// The same calls outside the deterministic scope (a cmd/ driver) are
+// legal: CLI UX may measure wall time. This fixture expects zero
+// diagnostics.
+package main
+
+import "time"
+
+func elapsed() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}
+
+func main() {
+	_ = elapsed()
+}

@@ -155,7 +155,7 @@ func (p RetryPolicy) wait(timeout time.Duration, kind byte, ix int32, r uint64, 
 	if p.Jitter == 0 {
 		return timeout
 	}
-	h := xrand.Hash64(p.Seed, 0x1177E4, uint64(kind), uint64(uint32(ix)), r, uint64(attempt))
+	h := xrand.Hash64(p.Seed, xrand.LaneNetJitter, uint64(kind), uint64(uint32(ix)), r, uint64(attempt))
 	u := float64(h>>11) / (1 << 53) // [0, 1)
 	f := 1 + p.Jitter*(2*u-1)
 	d := time.Duration(f * float64(timeout))
@@ -364,24 +364,24 @@ func (c *coordinator) roundTrip(ix int32, r uint64, req []byte, reqKind, wantKin
 	}
 	var hardDeadline time.Time
 	if c.policy.Deadline > 0 {
-		hardDeadline = time.Now().Add(c.policy.Deadline)
+		hardDeadline = time.Now().Add(c.policy.Deadline) //rbvet:allow wallclock real-transport retry deadline; round results stay deterministic via the idempotent-replay seam
 	}
 	timeout := c.policy.Timeout
 	for attempt := uint32(0); attempt <= uint32(c.policy.Retries); attempt++ {
-		if !hardDeadline.IsZero() && !time.Now().Before(hardDeadline) {
+		if !hardDeadline.IsZero() && !time.Now().Before(hardDeadline) { //rbvet:allow wallclock deadline check on the physical retry loop, not simulated time
 			break
 		}
 		c.send(reqKind, ix, r, req, attempt)
 		wait := c.policy.wait(timeout, reqKind, ix, r, attempt)
 		if !hardDeadline.IsZero() {
-			if rem := time.Until(hardDeadline); rem < wait {
+			if rem := time.Until(hardDeadline); rem < wait { //rbvet:allow wallclock remaining physical budget for this attempt
 				wait = rem
 			}
 			if wait <= 0 {
 				break
 			}
 		}
-		deadline := time.NewTimer(wait)
+		deadline := time.NewTimer(wait) //rbvet:allow wallclock retransmission timer of the real UDP transport
 		for {
 			select {
 			case pkt := <-c.resp[ix]:
@@ -433,6 +433,7 @@ func transmit(conn *net.UDPConn, to *net.UDPAddr, pkt []byte, v faultnet.Verdict
 	}
 	if v.Delay > 0 {
 		wg.Add(1)
+		//rbvet:allow wallclock fault-plan delay acts on physical delivery; verdicts themselves are seed-pure
 		time.AfterFunc(v.Delay, func() {
 			defer wg.Done()
 			for i := 0; i < n; i++ {

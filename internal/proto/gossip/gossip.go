@@ -30,9 +30,7 @@ const (
 	DefaultProb   = 0.8
 )
 
-// rngTag is the xrand derivation label of the per-device forwarding
-// streams.
-const rngTag = 0x60551
+// The per-device forwarding streams derive under xrand.LaneGossip.
 
 // Shared is the immutable per-run configuration.
 type Shared struct {
@@ -82,7 +80,7 @@ type Node struct {
 
 // NewNode builds a (message-less) honest node.
 func NewNode(sh *Shared, id int) *Node {
-	return &Node{sh: sh, id: id, pos: sh.D.Pos[id], rng: xrand.Derive(sh.Seed, rngTag, uint64(id))}
+	return &Node{sh: sh, id: id, pos: sh.D.Pos[id], rng: xrand.Derive(sh.Seed, xrand.LaneGossip, uint64(id))}
 }
 
 // NewSource builds the broadcast source.

@@ -243,18 +243,15 @@ func (m *FriisMedium) SenseRange() float64 {
 	return m.Lambda / (4 * math.Pi) * math.Sqrt(m.Pt/m.CSThreshold)
 }
 
-// Fading-hash lane tags. Listener and transmitter ids enter the fade
-// hash as separate words, each XORed into the low bits of its own
-// tagged word, so the two id domains stay disjoint for all ids below
-// 2^32 (device counts are far smaller) independent of word order. The
-// previous scheme shifted the listener id by 20 bits — separation that
-// only word position provided, and that would have silently aliased
-// with transmitter ids >= 2^20 had the words ever been combined or
-// reordered. Changing the tags changes every LossProb stream.
-const (
-	fadeListenerTag = uint64(0x4C49_5354) << 32 // "LIST"
-	fadeSrcTag      = uint64(0x5452_414E) << 32 // "TRAN"
-)
+// Fading-hash lane tags (xrand.LaneFadeListener / xrand.LaneFadeSrc).
+// Listener and transmitter ids enter the fade hash as separate words,
+// each XORed into the low bits of its own tagged word, so the two id
+// domains stay disjoint for all ids below 2^32 (device counts are far
+// smaller) independent of word order. The previous scheme shifted the
+// listener id by 20 bits — separation that only word position provided,
+// and that would have silently aliased with transmitter ids >= 2^20 had
+// the words ever been combined or reordered. Changing the tags changes
+// every LossProb stream.
 
 // Observe implements Medium.
 func (m *FriisMedium) Observe(round uint64, listenerID int, at geom.Point, txs []Tx) Obs {
@@ -308,7 +305,7 @@ func (m *FriisMedium) resolve(round uint64, listenerID int, at geom.Point, txs [
 		}
 		if m.LossProb > 0 {
 			// Deterministic per-(round, listener, transmitter) fading.
-			h := xrand.Hash64(m.Seed, round, fadeListenerTag^uint64(listenerID), fadeSrcTag^uint64(txs[i].Frame.Src))
+			h := xrand.Hash64(m.Seed, round, xrand.LaneFadeListener^uint64(listenerID), xrand.LaneFadeSrc^uint64(txs[i].Frame.Src))
 			if float64(h>>11)/(1<<53) < m.LossProb {
 				continue
 			}

@@ -23,6 +23,7 @@ package schedule
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"authradio/internal/geom"
 	"authradio/internal/topo"
@@ -185,11 +186,28 @@ func (g *SquareGrid) Verify(d *topo.Deployment) error {
 		}
 		return out
 	}
-	bySlot := make(map[int][]Square)
+	// Group squares by slot in a fixed order (sorted squares, then
+	// sorted slots) so a violation always reports the same witness pair
+	// regardless of map iteration order.
+	occupied := make([]Square, 0, len(members))
 	for s := range members {
+		occupied = append(occupied, s)
+	}
+	sort.Slice(occupied, func(i, j int) bool {
+		a, b := occupied[i], occupied[j]
+		return a.SY < b.SY || (a.SY == b.SY && a.SX < b.SX)
+	})
+	bySlot := make(map[int][]Square)
+	for _, s := range occupied {
 		bySlot[g.SlotOf(s)] = append(bySlot[g.SlotOf(s)], s)
 	}
-	for slot, squares := range bySlot {
+	slots := make([]int, 0, len(bySlot))
+	for slot := range bySlot {
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+	for _, slot := range slots {
+		squares := bySlot[slot]
 		for a := 0; a < len(squares); a++ {
 			pa := parts(squares[a])
 			for b := a + 1; b < len(squares); b++ {

@@ -1,0 +1,76 @@
+package xrand
+
+// Lane labels — the registry of every constant "domain separation" word
+// mixed into Derive or Hash64 anywhere in the repo. Each lane names one
+// independent randomness domain; two distinct domains sharing a word
+// would silently correlate their streams (the PR 1 fading-hash lesson:
+// listener and transmitter ids once relied on word position alone for
+// separation). Keeping every word here, as a named constant, makes the
+// separation checkable: rbvet's lanelabel analyzer rejects call sites
+// that mix in a constant not registered below, and rejects two Lane
+// constants sharing a value.
+//
+// To add a lane: declare a Lane* constant with a fresh value, add it to
+// the Lanes table (a duplicate value is a compile error there — map
+// literals reject duplicate constant keys), and reference the constant
+// at the call site. Never reuse a retired value: historical streams are
+// bit-for-bit stable only while every (seed, lane) pair keeps its
+// meaning.
+//
+// Changing any value changes the derived streams and therefore every
+// golden; values are frozen.
+const (
+	// LaneDeploy derives the per-repetition deployment geometry rng
+	// (experiment.Scenario.deployment).
+	LaneDeploy uint64 = 0xDE9
+	// LaneRoles derives the per-repetition adversary role sampling rng
+	// (experiment.Scenario.roles).
+	LaneRoles uint64 = 0x401E5
+	// LaneJam derives each jammer's attack rng (core.Build).
+	LaneJam uint64 = 0x4A41
+	// LaneSpoof derives each spoofer's attack rng (core.Build).
+	LaneSpoof uint64 = 0x5B00F
+	// LaneChurn derives each churner's outage-schedule rng (core.Build).
+	LaneChurn uint64 = 0xC402
+	// LaneGossip derives each GossipRB device's forwarding rng.
+	LaneGossip uint64 = 0x60551
+	// LaneFadeListener tags the listener id word of the Friis fade hash
+	// ("LIST"): listener and transmitter ids stay in disjoint domains
+	// for all ids below 2^32 independent of word order.
+	LaneFadeListener uint64 = 0x4C49_5354 << 32
+	// LaneFadeSrc tags the transmitter id word of the Friis fade hash
+	// ("TRAN").
+	LaneFadeSrc uint64 = 0x5452_414E << 32
+	// LaneNetJitter draws the UDP transport's per-attempt retry jitter
+	// (net.RetryPolicy.wait).
+	LaneNetJitter uint64 = 0x1177E4
+	// LaneFaultDrop decides faultnet drop verdicts.
+	LaneFaultDrop uint64 = 0xD409
+	// LaneFaultDup decides faultnet duplicate verdicts.
+	LaneFaultDup uint64 = 0xD0B1
+	// LaneFaultHold decides whether a faultnet datagram is delayed.
+	LaneFaultHold uint64 = 0xDE1A
+	// LaneFaultHoldMag draws the magnitude of a faultnet delay,
+	// independent of the hold decision itself.
+	LaneFaultHoldMag uint64 = LaneFaultHold ^ 0xFFFF
+)
+
+// Lanes is the value→name table of every registered lane, the
+// known-lanes registry rbvet's lanelabel analyzer checks call sites
+// against. Because map literals reject duplicate constant keys, a value
+// collision between two lanes is a compile error on this table.
+var Lanes = map[uint64]string{
+	LaneDeploy:       "LaneDeploy",
+	LaneRoles:        "LaneRoles",
+	LaneJam:          "LaneJam",
+	LaneSpoof:        "LaneSpoof",
+	LaneChurn:        "LaneChurn",
+	LaneGossip:       "LaneGossip",
+	LaneFadeListener: "LaneFadeListener",
+	LaneFadeSrc:      "LaneFadeSrc",
+	LaneNetJitter:    "LaneNetJitter",
+	LaneFaultDrop:    "LaneFaultDrop",
+	LaneFaultDup:     "LaneFaultDup",
+	LaneFaultHold:    "LaneFaultHold",
+	LaneFaultHoldMag: "LaneFaultHoldMag",
+}

@@ -1,0 +1,50 @@
+package xrand
+
+import "testing"
+
+// TestLaneValuesFrozen pins every registered lane to its historical
+// value: renaming a magic word into the registry must never move the
+// streams it derives, and a retired value must never be reused.
+func TestLaneValuesFrozen(t *testing.T) {
+	want := map[string]uint64{
+		"LaneDeploy":       0xDE9,
+		"LaneRoles":        0x401E5,
+		"LaneJam":          0x4A41,
+		"LaneSpoof":        0x5B00F,
+		"LaneChurn":        0xC402,
+		"LaneGossip":       0x60551,
+		"LaneFadeListener": 0x4C49_5354 << 32,
+		"LaneFadeSrc":      0x5452_414E << 32,
+		"LaneNetJitter":    0x1177E4,
+		"LaneFaultDrop":    0xD409,
+		"LaneFaultDup":     0xD0B1,
+		"LaneFaultHold":    0xDE1A,
+		"LaneFaultHoldMag": 0xDE1A ^ 0xFFFF,
+	}
+	if len(Lanes) != len(want) {
+		t.Errorf("Lanes has %d entries, want %d — register new lanes in both the const block and the table", len(Lanes), len(want))
+	}
+	for v, name := range Lanes {
+		wv, ok := want[name]
+		if !ok {
+			t.Errorf("Lanes[%#x] = %q: not in the frozen set; extend this test when adding a lane", v, name)
+			continue
+		}
+		if v != wv {
+			t.Errorf("%s = %#x, want frozen value %#x", name, v, wv)
+		}
+	}
+}
+
+// TestLaneStreamsDistinct is the semantic face of the registry: every
+// pair of lanes derives a different stream from the same seed.
+func TestLaneStreamsDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	for v, name := range Lanes {
+		first := Derive(1, v).Uint64()
+		if prev, dup := seen[first]; dup {
+			t.Errorf("lanes %s and %s derive identical streams from seed 1", name, prev)
+		}
+		seen[first] = name
+	}
+}
