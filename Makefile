@@ -1,6 +1,6 @@
 # Convenience targets; everything here is plain go tool invocations.
 
-.PHONY: test race lint golden golden-check fuzz
+.PHONY: test race lint golden golden-check fuzz bench bench-scale
 
 test:
 	go build ./... && go test ./...
@@ -37,6 +37,20 @@ golden-check:
 			diff -u cmd/rbexp/testdata/$${exp}_golden.json - || \
 			{ echo "GOLDEN DRIFT: $$exp (regenerate deliberately with 'make golden')"; status=1; }; \
 	done; exit $$status
+
+# The two measured benchmark suites, invoked exactly as the CI bench
+# job runs them (see .github/workflows/ci.yml) so local numbers are
+# comparable to the gated ones. bench is the sub-second dense-round and
+# sparse-calendar suites; bench-scale is the 100k+ regime — single
+# iterations, 3 counts, -benchmem — plus the opt-in million-device
+# round when BENCH_SCALE_1M=1 is exported.
+bench:
+	go test -run '^$$' -bench 'BenchmarkDenseRound(Linear|Indexed|4096|Disk)|BenchmarkSparseCalendar' \
+		-count 5 -benchtime 0.3s . ./internal/sim
+
+bench-scale:
+	go test -run '^$$' -bench 'BenchmarkDenseRound(65536|262144|1M)$$' \
+		-count 3 -benchtime 1x -benchmem .
 
 # Short local fuzz pass over the -param parser, the typed getters, the
 # adversary-mix label parser and the fault-plan grammar (CI replays the

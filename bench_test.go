@@ -6,6 +6,8 @@ package authradio_test
 // the paper-scale presets with `go run ./cmd/rbexp -exp all -full`.
 
 import (
+	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -148,6 +150,48 @@ func BenchmarkDenseRound4096(b *testing.B) {
 	experiment.DenseRounds(e, 8)
 	b.ResetTimer()
 	experiment.DenseRounds(e, uint64(b.N))
+}
+
+// benchDenseScale is the production-scale dense round: n devices at
+// ~1 per unit² over a Friis medium, a rotating 1/8 transmitting each
+// round. Beyond wall time it reports the two scale quantities the CI
+// gate budgets: ns/device (per-round resolution cost per device) and
+// bytes/device (steady-state engine heap footprint per device,
+// measured after warm-up so all reusable scratch is included).
+func benchDenseScale(b *testing.B, n int) {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	e := experiment.DenseRoundEngine(n, false, 9)
+	experiment.DenseRounds(e, 2) // warm up index storage, wheel, scratch
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	b.ResetTimer()
+	experiment.DenseRounds(e, uint64(b.N))
+	b.StopTimer()
+	dev := float64(e.Devices())
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/dev, "ns/device")
+	b.ReportMetric(float64(after.HeapAlloc-before.HeapAlloc)/dev, "bytes/device")
+	runtime.KeepAlive(e)
+}
+
+// BenchmarkDenseRound65536 and BenchmarkDenseRound262144 are the scale
+// suite: run in CI with -count 3 -benchtime 1x and gated by
+// cmd/benchgate on both ns/op and the bytes/device budget (see
+// .github/workflows/ci.yml, bench job, and `make bench-scale`).
+func BenchmarkDenseRound65536(b *testing.B)  { benchDenseScale(b, 65536) }
+func BenchmarkDenseRound262144(b *testing.B) { benchDenseScale(b, 262144) }
+
+// BenchmarkDenseRound1M is the million-device round. It is opt-in
+// (BENCH_SCALE_1M=1): a single round resolves ~1M devices and the
+// engine build alone takes seconds, so PR CI stays bounded and only
+// the nightly/workflow_dispatch path pays for it.
+func BenchmarkDenseRound1M(b *testing.B) {
+	if os.Getenv("BENCH_SCALE_1M") == "" {
+		b.Skip("million-device bench is opt-in: set BENCH_SCALE_1M=1")
+	}
+	benchDenseScale(b, 1_000_000)
 }
 
 // benchDenseRoundDisk is the dense workload over the second built-in

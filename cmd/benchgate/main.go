@@ -1,6 +1,7 @@
-// Command benchgate compares two `go test -bench` result files and
-// fails when a gated benchmark regressed beyond a threshold. It is the
-// hard gate behind the CI bench job: benchstat renders the
+// Command benchgate gates `go test -bench` results. It compares two
+// result files and fails when a gated benchmark regressed beyond a
+// threshold, and checks absolute per-unit budgets on the current run.
+// It is the hard gate behind the CI bench jobs: benchstat renders the
 // human-readable comparison, benchgate renders the verdict, because
 // its input format (raw benchmark lines) and its decision rule
 // (median-over-counts ratio) are stable across benchstat versions.
@@ -8,15 +9,26 @@
 // Usage:
 //
 //	benchgate -old baseline.txt -new current.txt \
-//	    -gate '^BenchmarkDenseRound' -threshold 0.15
+//	    -gate '^BenchmarkDenseRound' -threshold 0.15 \
+//	    -budget 'bytes/device<=256'
 //
 // Both files hold standard benchmark output (any -count; medians are
-// taken per benchmark name, with the -<GOMAXPROCS> suffix stripped).
-// Every benchmark present in both files is reported; only those whose
-// name matches -gate can fail the run. A gated benchmark missing from
-// the baseline (new benchmark) or from the current run (deleted
-// benchmark) is reported but never fails — the gate compares, it does
-// not police benchmark existence.
+// taken per benchmark name and unit, with the -<GOMAXPROCS> suffix
+// stripped). Every unit column is parsed, and the deterministic cost
+// columns ns/op, B/op and allocs/op are all gated relatively: memory
+// regressions fail the same way time regressions do. Every benchmark
+// present in both files is reported; only those whose name matches
+// -gate can fail the run. A gated benchmark missing from the baseline
+// (new benchmark) or from the current run (deleted benchmark) is
+// reported but never fails — the gate compares, it does not police
+// benchmark existence.
+//
+// -budget 'unit<=value' (repeatable) is an absolute ceiling on the
+// current run: the median of that unit over every gated benchmark
+// reporting it must not exceed the value. Budgets need no baseline, so
+// `benchgate -new current.txt -budget ...` alone is a valid run —
+// that is how the scale job enforces its bytes-per-device ceiling even
+// on the first run of a branch.
 //
 // Noise policy: a median past the threshold alone is not a verdict on
 // shared CI runners. When both sides carry at least minSamples counts,
@@ -25,6 +37,9 @@
 // reported as "noisy" and do not fail. With fewer samples there is no
 // range to consult and the median ratio decides alone, so pinning
 // -count (and -benchtime) in CI is what buys the significance check.
+// Budgets are absolute, so they fail on the median alone. A relative
+// gate with a zero-valued baseline median (0 B/op growing to anything)
+// has no ratio; it is reported and left to budgets.
 package main
 
 import (
@@ -46,16 +61,60 @@ import (
 // range separation on top of the median ratio.
 const minSamples = 3
 
+// gatedUnits are the deterministic cost columns gated relatively
+// against the baseline. Custom columns (bytes/device, ...) are too
+// workload-defined for a blanket ratio rule and are gated via -budget.
+var gatedUnits = []string{"ns/op", "B/op", "allocs/op"}
+
+// benchSamples is per-benchmark, per-unit samples: name -> unit ->
+// one value per -count.
+type benchSamples map[string]map[string][]float64
+
+// budget is an absolute ceiling on the median of one unit.
+type budget struct {
+	unit string
+	max  float64
+}
+
+type budgetFlag []budget
+
+func (b *budgetFlag) String() string {
+	var parts []string
+	for _, bb := range *b {
+		parts = append(parts, fmt.Sprintf("%s<=%g", bb.unit, bb.max))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (b *budgetFlag) Set(s string) error {
+	unit, val, ok := strings.Cut(s, "<=")
+	if !ok || unit == "" {
+		return fmt.Errorf("want 'unit<=value', got %q", s)
+	}
+	max, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("bad budget value in %q: %v", s, err)
+	}
+	*b = append(*b, budget{unit: unit, max: max})
+	return nil
+}
+
 func main() {
+	var budgets budgetFlag
 	var (
-		oldPath   = flag.String("old", "", "baseline benchmark results file")
+		oldPath   = flag.String("old", "", "baseline benchmark results file (optional when only -budget gates)")
 		newPath   = flag.String("new", "", "current benchmark results file")
 		gate      = flag.String("gate", "^BenchmarkDenseRound", "regexp of benchmark names that may fail the gate")
-		threshold = flag.Float64("threshold", 0.15, "maximum tolerated slowdown of a gated benchmark (0.15 = +15% ns/op)")
+		threshold = flag.Float64("threshold", 0.15, "maximum tolerated relative growth of a gated benchmark's ns/op, B/op or allocs/op (0.15 = +15%)")
 	)
+	flag.Var(&budgets, "budget", "absolute ceiling 'unit<=value' on gated benchmarks' medians in the current run (repeatable)")
 	flag.Parse()
-	if *oldPath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -new is required")
+		os.Exit(2)
+	}
+	if *oldPath == "" && len(budgets) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: need -old (relative gate) or -budget (absolute gate)")
 		os.Exit(2)
 	}
 	gateRE, err := regexp.Compile(*gate)
@@ -63,35 +122,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: bad -gate: %v\n", err)
 		os.Exit(2)
 	}
-	oldS, err := sampleFile(*oldPath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
-	}
 	newS, err := sampleFile(*newPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
-	regressed := report(os.Stdout, oldS, newS, gateRE, *threshold)
-	if len(regressed) > 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %d gated benchmark(s) regressed > %.0f%%: %s\n",
-			len(regressed), *threshold*100, strings.Join(regressed, ", "))
+	var failed []string
+	if *oldPath != "" {
+		oldS, err := sampleFile(*oldPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		failed = report(os.Stdout, oldS, newS, gateRE, *threshold)
+	}
+	failed = append(failed, checkBudgets(os.Stdout, newS, gateRE, budgets)...)
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d gated check(s) failed: %s\n",
+			len(failed), strings.Join(failed, ", "))
 		os.Exit(1)
 	}
 }
 
-// parseBench extracts (name, ns/op) samples from benchmark output.
-// Lines that are not benchmark results are ignored. The
-// -<GOMAXPROCS> suffix is stripped so runs from machines with
-// different core counts compare under one name.
-func parseBench(r io.Reader) (map[string][]float64, error) {
-	samples := make(map[string][]float64)
+// parseBench extracts (name, unit, value) samples from benchmark
+// output, one sample per unit pair per line. Lines that are not
+// benchmark results are ignored. The -<GOMAXPROCS> suffix is stripped
+// so runs from machines with different core counts compare under one
+// name.
+func parseBench(r io.Reader) (benchSamples, error) {
+	samples := make(benchSamples)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
-		// BenchmarkName-8  <iters>  <value> ns/op  [more unit pairs...]
+		// BenchmarkName-8  <iters>  <value> <unit>  [more value/unit pairs...]
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
@@ -102,22 +166,22 @@ func parseBench(r io.Reader) (map[string][]float64, error) {
 			}
 		}
 		for i := 2; i+1 < len(fields); i += 2 {
-			if fields[i+1] != "ns/op" {
-				continue
-			}
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				return nil, fmt.Errorf("bad ns/op value %q for %s", fields[i], name)
+				return nil, fmt.Errorf("bad %s value %q for %s", fields[i+1], fields[i], name)
 			}
-			samples[name] = append(samples[name], v)
-			break
+			if samples[name] == nil {
+				samples[name] = make(map[string][]float64)
+			}
+			unit := fields[i+1]
+			samples[name][unit] = append(samples[name][unit], v)
 		}
 	}
 	return samples, sc.Err()
 }
 
 // sampleFile parses one results file into per-benchmark sample sets.
-func sampleFile(path string) (map[string][]float64, error) {
+func sampleFile(path string) (benchSamples, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -133,13 +197,13 @@ func sampleFile(path string) (map[string][]float64, error) {
 	return samples, nil
 }
 
-// report prints one line per benchmark (union of both files, sorted)
-// and returns the gated benchmarks that regressed: median ns/op grew by
-// more than threshold AND — when both sides have minSamples counts —
-// the sample ranges are separated (fastest current sample slower than
-// the slowest baseline sample). Past-threshold medians with overlapping
-// ranges are flagged "noisy" but do not fail.
-func report(w io.Writer, oldS, newS map[string][]float64, gate *regexp.Regexp, threshold float64) []string {
+// report prints one line per benchmark and gated unit (union of both
+// files, sorted) and returns the gated checks that regressed: a median
+// that grew by more than threshold AND — when both sides have
+// minSamples counts — separated sample ranges (fastest current sample
+// slower than the slowest baseline sample). Past-threshold medians
+// with overlapping ranges are flagged "noisy" but do not fail.
+func report(w io.Writer, oldS, newS benchSamples, gate *regexp.Regexp, threshold float64) []string {
 	names := make([]string, 0, len(oldS)+len(newS))
 	for n := range oldS {
 		names = append(names, n)
@@ -160,26 +224,70 @@ func report(w io.Writer, oldS, newS map[string][]float64, gate *regexp.Regexp, t
 		}
 		switch {
 		case !haveOld:
-			fmt.Fprintf(w, "%s%-40s (no baseline)        new %12.0f ns/op\n", tag, n, stats.Median(c))
+			fmt.Fprintf(w, "%s%-40s (no baseline)        new %12.0f ns/op\n", tag, n, stats.Median(c["ns/op"]))
+			continue
 		case !haveNew:
-			fmt.Fprintf(w, "%s%-40s old %12.0f ns/op (not run)\n", tag, n, stats.Median(o))
-		default:
-			oldMed, newMed := stats.Median(o), stats.Median(c)
+			fmt.Fprintf(w, "%s%-40s old %12.0f ns/op (not run)\n", tag, n, stats.Median(o["ns/op"]))
+			continue
+		}
+		for _, unit := range gatedUnits {
+			os, cs := o[unit], c[unit]
+			if len(os) == 0 || len(cs) == 0 {
+				continue
+			}
+			oldMed, newMed := stats.Median(os), stats.Median(cs)
+			if oldMed == 0 {
+				fmt.Fprintf(w, "%s%-40s old %12.0f  new %12.0f %-9s (zero baseline, budget-only)\n",
+					tag, n, oldMed, newMed, unit)
+				continue
+			}
 			ratio := newMed / oldMed
 			verdict := "ok"
 			if gate.MatchString(n) && ratio > 1+threshold {
-				if separated(o, c) {
+				if separated(os, cs) {
 					verdict = "REGRESSED"
-					regressed = append(regressed, fmt.Sprintf("%s (%+.1f%%)", n, (ratio-1)*100))
+					regressed = append(regressed, fmt.Sprintf("%s %s (%+.1f%%)", n, unit, (ratio-1)*100))
 				} else {
 					verdict = "noisy (ranges overlap, not gated)"
 				}
 			}
-			fmt.Fprintf(w, "%s%-40s old %12.0f  new %12.0f ns/op  %+6.1f%%  %s\n",
-				tag, n, oldMed, newMed, (ratio-1)*100, verdict)
+			fmt.Fprintf(w, "%s%-40s old %12.0f  new %12.0f %-9s %+6.1f%%  %s\n",
+				tag, n, oldMed, newMed, unit, (ratio-1)*100, verdict)
 		}
 	}
 	return regressed
+}
+
+// checkBudgets enforces the absolute -budget ceilings on the current
+// run: for every gated benchmark reporting a budgeted unit, the median
+// must not exceed the ceiling. Benchmarks not reporting the unit are
+// skipped — a budget selects its benchmarks by the unit they report.
+func checkBudgets(w io.Writer, newS benchSamples, gate *regexp.Regexp, budgets []budget) []string {
+	names := make([]string, 0, len(newS))
+	for n := range newS {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var failed []string
+	for _, b := range budgets {
+		for _, n := range names {
+			if !gate.MatchString(n) {
+				continue
+			}
+			cs := newS[n][b.unit]
+			if len(cs) == 0 {
+				continue
+			}
+			med := stats.Median(cs)
+			verdict := "ok"
+			if med > b.max {
+				verdict = "OVER BUDGET"
+				failed = append(failed, fmt.Sprintf("%s %s (%.1f > %g)", n, b.unit, med, b.max))
+			}
+			fmt.Fprintf(w, "budget %-40s %12.1f %-12s <= %-12g %s\n", n, med, b.unit, b.max, verdict)
+		}
+	}
+	return failed
 }
 
 // separated reports whether the slowdown is significant beyond run

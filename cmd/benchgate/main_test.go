@@ -11,15 +11,15 @@ import (
 const oldBench = `goos: linux
 goarch: amd64
 pkg: authradio
-BenchmarkDenseRound4096-8    	     100	   2850000 ns/op	  120 B/op
-BenchmarkDenseRound4096-8    	     100	   2900000 ns/op	  120 B/op
-BenchmarkDenseRound4096-8    	     100	   2800000 ns/op	  121 B/op
+BenchmarkDenseRound4096-8    	     100	   2850000 ns/op	  120 B/op	       3 allocs/op
+BenchmarkDenseRound4096-8    	     100	   2900000 ns/op	  120 B/op	       3 allocs/op
+BenchmarkDenseRound4096-8    	     100	   2800000 ns/op	  121 B/op	       3 allocs/op
 BenchmarkSparseCalendar-8    	    5000	    400000 ns/op
 BenchmarkGoneBench-8         	     100	    100000 ns/op
 PASS
 `
 
-func samples(t *testing.T, text string) map[string][]float64 {
+func samples(t *testing.T, text string) benchSamples {
 	t.Helper()
 	raw, err := parseBench(strings.NewReader(text))
 	if err != nil {
@@ -34,12 +34,37 @@ func TestParseBenchMedians(t *testing.T) {
 		t.Fatalf("parsed %d benchmarks: %v", len(raw), raw)
 	}
 	// The -8 GOMAXPROCS suffix is stripped; three counts reduce to the
-	// middle value.
-	if med := stats.Median(raw["BenchmarkDenseRound4096"]); med != 2850000 {
-		t.Errorf("dense median %v", med)
+	// middle value, per unit column.
+	dense := raw["BenchmarkDenseRound4096"]
+	if med := stats.Median(dense["ns/op"]); med != 2850000 {
+		t.Errorf("dense ns/op median %v", med)
 	}
-	if med := stats.Median(raw["BenchmarkSparseCalendar"]); med != 400000 {
+	if med := stats.Median(dense["B/op"]); med != 120 {
+		t.Errorf("dense B/op median %v", med)
+	}
+	if med := stats.Median(dense["allocs/op"]); med != 3 {
+		t.Errorf("dense allocs/op median %v", med)
+	}
+	if med := stats.Median(raw["BenchmarkSparseCalendar"]["ns/op"]); med != 400000 {
 		t.Errorf("sparse median %v", med)
+	}
+}
+
+// TestParseBenchMixedColumns pins parsing of lines mixing standard and
+// custom unit columns in one result (the scale benchmarks report
+// bytes/device and ns/device next to -benchmem's columns).
+func TestParseBenchMixedColumns(t *testing.T) {
+	raw := samples(t, `BenchmarkDenseRound65536-8   	       2	  42060696 ns/op	       213.0 bytes/device	       641.8 ns/device	 1435768 B/op	     282 allocs/op
+`)
+	s := raw["BenchmarkDenseRound65536"]
+	want := map[string]float64{
+		"ns/op": 42060696, "bytes/device": 213.0, "ns/device": 641.8,
+		"B/op": 1435768, "allocs/op": 282,
+	}
+	for unit, v := range want {
+		if len(s[unit]) != 1 || s[unit][0] != v {
+			t.Errorf("unit %s: got %v, want [%v]", unit, s[unit], v)
+		}
 	}
 }
 
@@ -76,13 +101,42 @@ BenchmarkNewBench-16         	     100	     50000 ns/op
 	}
 }
 
+// TestReportGateMemory pins the memory columns to the same relative
+// gate as time: a B/op blowup fails even when ns/op is flat, and a
+// zero-valued baseline column is left to budgets rather than divided
+// by.
+func TestReportGateMemory(t *testing.T) {
+	gate := regexp.MustCompile(`^BenchmarkDenseRound`)
+	oldS := samples(t, oldBench)
+
+	grew := `BenchmarkDenseRound4096-8    	     100	   2850000 ns/op	  480 B/op	       3 allocs/op
+`
+	var sb strings.Builder
+	regressed := report(&sb, oldS, samples(t, grew), gate, 0.15)
+	if len(regressed) != 1 || !strings.Contains(regressed[0], "B/op") {
+		t.Fatalf("B/op blowup not gated: %v", regressed)
+	}
+
+	zeroOld := samples(t, `BenchmarkDenseRound4096-8    	     100	   2850000 ns/op	  0 B/op	       0 allocs/op
+`)
+	sb.Reset()
+	regressed = report(&sb, zeroOld, samples(t, grew), gate, 0.15)
+	if len(regressed) != 0 {
+		t.Fatalf("zero baseline produced a relative verdict: %v", regressed)
+	}
+	if !strings.Contains(sb.String(), "zero baseline") {
+		t.Fatalf("zero baseline not reported:\n%s", sb.String())
+	}
+}
+
 // TestReportGateNoisePolicy pins the significance rule: with three
 // counts per side, a past-threshold median fails only when the sample
 // ranges are separated; a single fast sample overlapping the baseline
-// range downgrades the verdict to noise.
+// range downgrades the verdict to noise. The policy applies to the
+// memory columns identically (allocs here).
 func TestReportGateNoisePolicy(t *testing.T) {
 	gate := regexp.MustCompile(`^BenchmarkDenseRound`)
-	oldS := samples(t, oldBench) // dense range [2800000, 2900000]
+	oldS := samples(t, oldBench) // dense ns/op range [2800000, 2900000]
 
 	// Median +20%, but the fastest current count dips into the baseline
 	// range: noisy, not a regression.
@@ -107,6 +161,64 @@ BenchmarkDenseRound4096-8    	     100	   3400000 ns/op
 	regressed := report(&sb, oldS, samples(t, clear), gate, 0.15)
 	if len(regressed) != 1 || !strings.Contains(regressed[0], "BenchmarkDenseRound4096") {
 		t.Fatalf("separated ranges did not fail the gate: %v", regressed)
+	}
+
+	// Alloc ranges separated while ns/op is flat: the memory column is
+	// subject to the same range rule, so three clear counts fail.
+	allocs := `BenchmarkDenseRound4096-8    	     100	   2850000 ns/op	  120 B/op	       9 allocs/op
+BenchmarkDenseRound4096-8    	     100	   2850000 ns/op	  120 B/op	       8 allocs/op
+BenchmarkDenseRound4096-8    	     100	   2850000 ns/op	  120 B/op	       9 allocs/op
+`
+	sb.Reset()
+	regressed = report(&sb, oldS, samples(t, allocs), gate, 0.15)
+	if len(regressed) != 1 || !strings.Contains(regressed[0], "allocs/op") {
+		t.Fatalf("separated alloc ranges did not fail the gate: %v", regressed)
+	}
+}
+
+// TestCheckBudgets pins the absolute gate: budgets bind gated
+// benchmarks that report the budgeted unit, need no baseline, and fail
+// on the median alone.
+func TestCheckBudgets(t *testing.T) {
+	gate := regexp.MustCompile(`^BenchmarkDenseRound`)
+	cur := samples(t, `BenchmarkDenseRound65536-8   	       1	  42060696 ns/op	       213.0 bytes/device
+BenchmarkDenseRound65536-8   	       1	  43060696 ns/op	       215.0 bytes/device
+BenchmarkDenseRound65536-8   	       1	  41060696 ns/op	       214.0 bytes/device
+BenchmarkSparseCalendar-8    	    5000	    400000 ns/op
+`)
+	var sb strings.Builder
+	if failed := checkBudgets(&sb, cur, gate, []budget{{unit: "bytes/device", max: 256}}); len(failed) != 0 {
+		t.Fatalf("within-budget run failed: %v", failed)
+	}
+	if !strings.Contains(sb.String(), "BenchmarkDenseRound65536") {
+		t.Fatalf("budget check not reported:\n%s", sb.String())
+	}
+	sb.Reset()
+	failed := checkBudgets(&sb, cur, gate, []budget{{unit: "bytes/device", max: 200}})
+	if len(failed) != 1 || !strings.Contains(failed[0], "bytes/device") {
+		t.Fatalf("over-budget run passed: %v", failed)
+	}
+	// The ungated sparse benchmark and units nobody reports never bind.
+	if failed := checkBudgets(&sb, cur, regexp.MustCompile(`^BenchmarkSparse`), []budget{{unit: "bytes/device", max: 1}}); len(failed) != 0 {
+		t.Fatalf("budget bound a benchmark without the unit: %v", failed)
+	}
+}
+
+func TestBudgetFlagParsing(t *testing.T) {
+	var b budgetFlag
+	if err := b.Set("bytes/device<=256"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Set("allocs/op<=1000"); err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 2 || b[0].unit != "bytes/device" || b[0].max != 256 || b[1].unit != "allocs/op" {
+		t.Fatalf("parsed budgets: %+v", b)
+	}
+	for _, bad := range []string{"", "no-separator", "<=5", "unit<=abc"} {
+		if err := b.Set(bad); err == nil {
+			t.Errorf("budget %q accepted", bad)
+		}
 	}
 }
 

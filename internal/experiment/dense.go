@@ -10,29 +10,65 @@ import (
 	"authradio/internal/xrand"
 )
 
-// denseDevice drives one maximally contended round after another: a
-// rotating eighth of the devices transmit while the rest listen, every
-// round. It is the channel-resolution stress workload, with no protocol
-// logic on top.
-type denseDevice struct {
-	id   int
-	pos  geom.Point
-	busy uint64
+// denseArray holds the state of every dense-workload device in flat
+// arrays: a rotating eighth of the devices transmit while the rest
+// listen, every round. It is the channel-resolution stress workload,
+// with no protocol logic on top, and the device handle doubles as the
+// device ID. The array implements the batched block sweeps; the
+// per-device denseDevice handles route through the same step/deliver
+// logic, so the two paths are equivalent by construction.
+type denseArray struct {
+	pos  []geom.Point
+	busy []uint64
 }
 
-func (d *denseDevice) ID() int         { return d.id }
-func (d *denseDevice) Pos() geom.Point { return d.pos }
-
-func (d *denseDevice) Wake(r uint64) sim.Step {
-	if (uint64(d.id)+r)%8 == 0 {
-		return sim.Step{Action: sim.Transmit, Frame: radio.Frame{Kind: radio.KindData, Payload: uint64(d.id)}, NextWake: r + 1}
+func (g *denseArray) step(h uint32, r uint64) sim.Step {
+	if (uint64(h)+r)%8 == 0 {
+		return sim.Step{Action: sim.Transmit, Frame: radio.Frame{Kind: radio.KindData, Payload: uint64(h)}, NextWake: r + 1}
 	}
 	return sim.Step{Action: sim.Listen, NextWake: r + 1}
 }
 
-func (d *denseDevice) Deliver(r uint64, obs radio.Obs) {
+func (g *denseArray) deliver(h uint32, obs radio.Obs) {
 	if obs.Busy {
-		d.busy++
+		g.busy[h]++
+	}
+}
+
+// WakeBlock implements sim.BlockHandler.
+func (g *denseArray) WakeBlock(r uint64, handles []uint32, steps []sim.Step) {
+	for k, h := range handles {
+		steps[k] = g.step(h, r)
+	}
+}
+
+// DeliverBlock implements sim.BlockDeliverer.
+func (g *denseArray) DeliverBlock(r uint64, handles []uint32, obs []radio.Obs) {
+	for k, h := range handles {
+		g.deliver(h, obs[k])
+	}
+}
+
+// denseDevice is the per-device view into a denseArray.
+type denseDevice struct {
+	g  *denseArray
+	id int32
+}
+
+func (d *denseDevice) ID() int                           { return int(d.id) }
+func (d *denseDevice) Pos() geom.Point                   { return d.g.pos[d.id] }
+func (d *denseDevice) Wake(r uint64) sim.Step            { return d.g.step(uint32(d.id), r) }
+func (d *denseDevice) Deliver(r uint64, obs radio.Obs)   { d.g.deliver(uint32(d.id), obs) }
+func (d *denseDevice) Block() (sim.BlockHandler, uint32) { return d.g, uint32(d.id) }
+
+// addDense populates e with one dense-workload device per position,
+// backed by a single denseArray (two allocations for the whole fleet).
+func addDense(e *sim.Engine, pos []geom.Point) {
+	g := &denseArray{pos: pos, busy: make([]uint64, len(pos))}
+	ds := make([]denseDevice, len(pos))
+	for i := range ds {
+		ds[i] = denseDevice{g: g, id: int32(i)}
+		e.Add(&ds[i], 1)
 	}
 }
 
@@ -47,9 +83,7 @@ func DenseRoundEngine(n int, linear bool, seed uint64) *sim.Engine {
 	d := topo.Uniform(n, side, 4, xrand.New(seed))
 	e := sim.NewEngine(radio.NewFriisMedium(d.R, seed))
 	e.DisableIndex = linear
-	for i, p := range d.Pos {
-		e.Add(&denseDevice{id: i, pos: p}, 1)
-	}
+	addDense(e, d.Pos)
 	return e
 }
 
@@ -66,9 +100,7 @@ func DenseRoundDiskEngine(n int, linear bool) *sim.Engine {
 	d := topo.Grid(side, side, 4)
 	e := sim.NewEngine(&radio.DiskMedium{R: d.R, Metric: d.Metric})
 	e.DisableIndex = linear
-	for i, p := range d.Pos {
-		e.Add(&denseDevice{id: i, pos: p}, 1)
-	}
+	addDense(e, d.Pos)
 	return e
 }
 

@@ -23,8 +23,9 @@ import (
 // are the same edit.
 var LaneLabel = &Analyzer{
 	Name: "lanelabel",
-	Doc: "require constant labels at xrand.Derive/Hash64 call sites to be registered " +
-		"xrand.Lane* constants, and reject value collisions inside the registry",
+	Doc: "require constant labels at xrand.Derive/Hash64 call sites (and the incremental " +
+		"HashPrefix/HashAbsorb) to be registered xrand.Lane* constants, and reject value " +
+		"collisions inside the registry",
 	Run: runLaneLabel,
 }
 
@@ -49,7 +50,11 @@ func runLaneLabel(pass *Pass) error {
 			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != xrandPath {
 				return true
 			}
-			if fn.Name() != "Derive" && fn.Name() != "Hash64" {
+			switch fn.Name() {
+			case "Derive", "Hash64", "HashPrefix", "HashAbsorb":
+				// The incremental absorbers take the same tagged label
+				// words as Hash64 itself, just spread across calls.
+			default:
 				return true
 			}
 			if call.Ellipsis.IsValid() {

@@ -1,0 +1,100 @@
+package radio
+
+import (
+	"testing"
+
+	"authradio/internal/geom"
+	"authradio/internal/xrand"
+)
+
+// TestCellMatchesObserve is the CellMedium contract as a property test:
+// for random transmission sets, random listener boxes, and listeners
+// scattered through each box (corners included), BeginCell followed by
+// ObserveCell must return bit-for-bit the Obs of the plain linear
+// Observe — across both metrics of the disk medium and the Friis medium
+// with and without loss and carrier-sense gating.
+func TestCellMatchesObserve(t *testing.T) {
+	lossy := NewFriisMedium(2.5, 77)
+	lossy.LossProb = 0.35
+	// A wide, capture-disabled gate: nearly every transmission is in
+	// sense range of every listener, so the shared prune keeps almost
+	// everything and the collision branches dominate. (CSThreshold = 0
+	// is out of scope: its infinite sense range defeats the spatial
+	// gather of every indexed path, ObserveSet included.)
+	wide := NewFriisMedium(2.5, 78)
+	wide.CSThreshold = wide.RxSensitivity / 1e6
+	wide.CaptureRatio = 0
+	media := map[string]interface {
+		Medium
+		CellMedium
+	}{
+		"disk-linf":   &DiskMedium{R: 2.5, Metric: geom.LInf},
+		"disk-l2":     &DiskMedium{R: 2.5, Metric: geom.L2},
+		"friis":       NewFriisMedium(2.5, 77),
+		"friis-lossy": lossy,
+		"friis-wide":  wide,
+	}
+	rng := xrand.New(12345)
+	for name, m := range media {
+		var set TxSet
+		var cs CellState
+		for trial := 0; trial < 60; trial++ {
+			txs := make([]Tx, 2+rng.Intn(40))
+			for i := range txs {
+				txs[i] = Tx{
+					Pos:   geom.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20},
+					Frame: Frame{Kind: KindData, Src: i, Payload: uint64(trial)},
+				}
+			}
+			set.Reset(txs, 2.5)
+			lo := geom.Point{X: rng.Float64() * 18, Y: rng.Float64() * 18}
+			hi := geom.Point{X: lo.X + rng.Float64()*3, Y: lo.Y + rng.Float64()*3}
+			round := uint64(trial)
+			cs = CellState{}
+			if trial%2 == 0 {
+				cs.raw = make([]int32, 0, 8) // reused scratch must not leak between cells
+			}
+			m.BeginCell(&cs, round, &set, lo, hi)
+			for l := 0; l < 8; l++ {
+				at := geom.Point{
+					X: lo.X + rng.Float64()*(hi.X-lo.X),
+					Y: lo.Y + rng.Float64()*(hi.Y-lo.Y),
+				}
+				switch l {
+				case 0:
+					at = lo
+				case 1:
+					at = hi
+				case 2:
+					at = geom.Point{X: lo.X, Y: hi.Y}
+				case 3:
+					at = geom.Point{X: hi.X, Y: lo.Y}
+				}
+				got := m.ObserveCell(&cs, round, l, at)
+				want := m.Observe(round, l, at, txs)
+				if got != want {
+					t.Fatalf("%s trial %d listener %d at %v: ObserveCell %+v, Observe %+v",
+						name, trial, l, at, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestHashIncremental pins the incremental Hash64 identity the Friis
+// cell path relies on: absorbing a prefix once and finishing per suffix
+// equals hashing the full word list.
+func TestHashIncremental(t *testing.T) {
+	rng := xrand.New(9)
+	for i := 0; i < 100; i++ {
+		a, b, c, d := rng.Uint64(), rng.Uint64(), rng.Uint64(), rng.Uint64()
+		want := xrand.Hash64(a, b, c, d)
+		got := xrand.HashFinish(xrand.HashAbsorb(xrand.HashAbsorb(xrand.HashPrefix(a, b), c), d))
+		if got != want {
+			t.Fatalf("incremental hash mismatch: got %#x want %#x", got, want)
+		}
+		if xrand.HashFinish(xrand.HashPrefix(a)) != xrand.Hash64(a) {
+			t.Fatal("single-word incremental hash mismatch")
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package sim
+
+import "authradio/internal/radio"
+
+// Batched device blocks. A device whose state lives in flat arrays
+// (one struct of dense slices for thousands of devices) pays an
+// interface call per device per phase when driven through Device alone.
+// BlockDevice lets such devices opt into batched sweeps: the engine
+// caches each device's (handler, handle) pair at Add, and the default
+// in-process resolver calls WakeBlock/DeliverBlock once per contiguous
+// run of same-handler devices instead of Wake/Deliver once per device.
+// Transports that host devices remotely keep using the per-device
+// methods, which must stay behaviorally identical to the batched ones.
+
+// BlockHandler wakes a batch of devices that share one backing block.
+//
+// WakeBlock must fill steps[k] with the step of the device whose handle
+// is handles[k], for every k — entries are scratch and may hold stale
+// values from earlier rounds. The engine may call it concurrently for
+// disjoint handle sets (like Device.Wake on distinct devices), so
+// implementations must only write per-handle state and steps.
+type BlockHandler interface {
+	WakeBlock(r uint64, handles []uint32, steps []Step)
+}
+
+// BlockDeliverer is an optional extension of BlockHandler for batched
+// phase-B delivery: obs[k] is the observation of the device with handle
+// handles[k]. The same disjoint-handle concurrency contract as
+// WakeBlock applies.
+type BlockDeliverer interface {
+	DeliverBlock(r uint64, handles []uint32, obs []radio.Obs)
+}
+
+// BlockDevice is a Device that opts into batched sweeps. Block returns
+// the shared handler and this device's handle within it; both are
+// cached by the engine at Add. Wake/Deliver must remain implemented
+// and equivalent (transports and equivalence tests still use them).
+type BlockDevice interface {
+	Device
+	Block() (BlockHandler, uint32)
+}

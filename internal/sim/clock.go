@@ -1,14 +1,13 @@
 package sim
 
 import (
-	"cmp"
 	"container/heap"
-	"slices"
 )
 
-// This file is the round clock: wake-up scheduling (bucketed wheel +
-// sorted spill, or the legacy map+heap calendar), stop conditions, and
-// the run loop that feeds deduplicated wake sets to the round driver.
+// This file is the round clock: wake-up scheduling (a two-level
+// hierarchical wheel with an unsorted far-overflow list, or the legacy
+// map+heap calendar), stop conditions, and the run loop that feeds
+// deduplicated wake sets to the round driver.
 
 // roundHeap is a min-heap of scheduled round numbers.
 type roundHeap []uint64
@@ -25,16 +24,32 @@ func (h *roundHeap) Pop() interface{} {
 	return v
 }
 
-// wheelSize is the number of round buckets in the wake wheel, a power
-// of two covering every built-in schedule cycle (the longest
-// NeighborWatchRB cycles are a few thousand rounds); wake-ups further
-// out spill to the sorted overflow list.
+// The wake wheel is hierarchical: level 0 is a ring of wheelSize
+// one-round slots covering the current coarse bucket (the wheelSize
+// rounds whose round>>wheelBits equals wheelBase>>wheelBits); level 1
+// is a ring of wheel1Size slots, one per coarse bucket, covering the
+// next wheel1Size-1 coarse buckets (~16.7M rounds). A level-1 bucket is
+// scattered into level-0 slots when the clock advances into it — every
+// round of one coarse bucket maps to a distinct level-0 slot, so the
+// scatter is collision-free by construction. Wake-ups beyond the
+// level-1 horizon wait in an unsorted overflow list that migrates into
+// the wheels as the horizon reaches them. Each wake-up is therefore
+// moved at most twice (overflow -> level 1 -> level 0) and the clock
+// never sorts, no matter how far ahead a schedule reaches.
 const (
-	wheelSize = 4096
+	wheelBits = 12
+	wheelSize = 1 << wheelBits // level-0 slots: one round each
 	wheelMask = wheelSize - 1
+
+	wheel1Size = 1 << 12 // level-1 slots: one coarse bucket (wheelSize rounds) each
+	wheel1Mask = wheel1Size - 1
+
+	// wheelSpan is the horizon of both wheel levels together: wake-ups
+	// at least this far past the current coarse-bucket base overflow.
+	wheelSpan = uint64(wheelSize) * uint64(wheel1Size)
 )
 
-// spillEntry is one far-future wake-up waiting outside the wheel window.
+// spillEntry is one far-future wake-up waiting outside level 0.
 type spillEntry struct {
 	round uint64
 	ix    int32
@@ -56,108 +71,150 @@ func (e *Engine) schedule(ix int32, r uint64) {
 		return
 	}
 	if r < e.wheelBase {
-		// A wake-up behind the wheel window (only possible by Adding a
-		// device with a past firstWake between runs): rewind the wheel
-		// by dumping it into the spill and re-basing.
+		// A wake-up behind the clock (only possible by Adding a device
+		// with a past firstWake between runs): rewind by dumping both
+		// wheel levels into the overflow and re-basing.
 		e.rebaseTo(r)
 	}
-	if r < e.wheelBase+wheelSize {
-		slot := r & wheelMask
-		e.wheel[slot] = append(e.wheel[slot], ix)
+	cb := e.wheelBase >> wheelBits
+	switch c := r >> wheelBits; {
+	case c == cb:
+		e.wheel[r&wheelMask] = append(e.wheel[r&wheelMask], ix)
 		e.wheelCount++
-		return
+	case c-cb < wheel1Size:
+		e.wheel1[c&wheel1Mask] = append(e.wheel1[c&wheel1Mask], spillEntry{round: r, ix: ix})
+		e.wheel1Count++
+	default:
+		if len(e.spill) == 0 || r < e.spillMin {
+			e.spillMin = r
+		}
+		e.spill = append(e.spill, spillEntry{round: r, ix: ix})
 	}
-	if e.spillSorted && len(e.spill) > 0 && r < e.spill[len(e.spill)-1].round {
-		e.spillSorted = false
-	}
-	if len(e.spill) == 0 || r < e.spillMin {
-		e.spillMin = r
-	}
-	e.spill = append(e.spill, spillEntry{round: r, ix: ix})
 }
 
-// rebaseTo empties the wheel into the spill and restarts the window at
-// round r. Cold path: only reachable by scheduling behind the window.
+// horizon1 returns the first round past the level-1 window of the
+// coarse bucket cb, saturating instead of wrapping for schedules near
+// the top of the round range.
+func horizon1(cb uint64) uint64 {
+	if cb >= (NoWake>>wheelBits)-wheel1Size {
+		return NoWake
+	}
+	return (cb + wheel1Size) << wheelBits
+}
+
+// rebaseTo empties both wheel levels into the overflow and restarts the
+// clock at round r. Cold path: only reachable by scheduling behind the
+// current base.
 func (e *Engine) rebaseTo(r uint64) {
+	cb := e.wheelBase >> wheelBits
 	for slot, b := range e.wheel {
 		if len(b) == 0 {
 			continue
 		}
-		// Reconstruct each entry's absolute round from its slot.
-		round := e.wheelBase + (uint64(slot)-e.wheelBase)&wheelMask
+		// Level-0 entries all belong to the current coarse bucket, so
+		// each entry's absolute round is the bucket base plus its slot.
+		round := cb<<wheelBits | uint64(slot)
 		for _, ix := range b {
 			e.spill = append(e.spill, spillEntry{round: round, ix: ix})
 		}
 		e.wheel[slot] = b[:0]
 	}
+	for slot, b := range e.wheel1 {
+		if len(b) == 0 {
+			continue
+		}
+		e.spill = append(e.spill, b...)
+		e.wheel1[slot] = b[:0]
+	}
 	e.wheelCount = 0
-	e.spillSorted = false
-	if len(e.spill) > 0 {
-		e.spillMin = e.spill[0].round
-		for _, en := range e.spill[1:] {
-			if en.round < e.spillMin {
-				e.spillMin = en.round
-			}
+	e.wheel1Count = 0
+	e.spillMin = r
+	for _, en := range e.spill {
+		if en.round < e.spillMin {
+			e.spillMin = en.round
 		}
-		if r < e.spillMin {
-			e.spillMin = r
-		}
-	} else {
-		e.spillMin = r
 	}
 	e.wheelBase = r
 }
 
-// sortSpill establishes the spill's round order. The sort is stable so
-// that same-round wake-ups fire in scheduling order, exactly like the
-// calendar path.
-func (e *Engine) sortSpill() {
-	if !e.spillSorted {
-		slices.SortStableFunc(e.spill, func(a, b spillEntry) int { return cmp.Compare(a.round, b.round) })
-		e.spillSorted = true
+// migrateSpill moves every overflow entry inside the level-1 horizon
+// into its wheel level, keeping the rest (entries keep their relative
+// order, so same-round wake-ups still fire in scheduling order).
+func (e *Engine) migrateSpill(cb, horizon uint64) {
+	kept := e.spill[:0]
+	min := NoWake
+	for _, en := range e.spill {
+		if en.round >= horizon {
+			kept = append(kept, en)
+			if en.round < min {
+				min = en.round
+			}
+			continue
+		}
+		if c := en.round >> wheelBits; c == cb {
+			e.wheel[en.round&wheelMask] = append(e.wheel[en.round&wheelMask], en.ix)
+			e.wheelCount++
+		} else {
+			e.wheel1[c&wheel1Mask] = append(e.wheel1[c&wheel1Mask], en)
+			e.wheel1Count++
+		}
 	}
+	e.spill = kept
+	e.spillMin = min
 }
 
-// unspill moves every spill entry inside the current wheel window into
-// its bucket. The spill must be sorted.
-func (e *Engine) unspill() {
-	end := e.wheelBase + wheelSize
-	n := 0
-	for ; n < len(e.spill) && e.spill[n].round < end; n++ {
-		en := e.spill[n]
-		slot := en.round & wheelMask
-		e.wheel[slot] = append(e.wheel[slot], en.ix)
-		e.wheelCount++
-	}
-	if n > 0 {
-		rest := copy(e.spill, e.spill[n:])
-		e.spill = e.spill[:rest]
-	}
-	if len(e.spill) > 0 {
-		e.spillMin = e.spill[0].round
-	}
-}
-
-// wheelNext returns the earliest wheel-scheduled round, migrating spill
-// entries into the window as it comes within reach, and advances
-// wheelBase past empty buckets so repeated peeks are O(1).
+// wheelNext returns the earliest wheel-scheduled round. It scatters the
+// next level-1 bucket into level 0 when the current bucket is drained,
+// migrates overflow entries as the level-1 horizon reaches them, and
+// advances wheelBase past empty slots so repeated peeks are O(1).
 func (e *Engine) wheelNext() (uint64, bool) {
-	if e.wheelCount == 0 {
-		if len(e.spill) == 0 {
-			return 0, false
+	for {
+		cb := e.wheelBase >> wheelBits
+		if len(e.spill) > 0 && e.spillMin < horizon1(cb) {
+			e.migrateSpill(cb, horizon1(cb))
 		}
-		e.sortSpill()
-		e.wheelBase = e.spill[0].round
-		e.unspill()
-	} else if len(e.spill) > 0 && e.spillMin < e.wheelBase+wheelSize {
-		e.sortSpill()
-		e.unspill()
-	}
-	for r := e.wheelBase; ; r++ {
-		if len(e.wheel[r&wheelMask]) > 0 {
-			e.wheelBase = r
-			return r, true
+		if e.wheelCount > 0 {
+			// All level-0 entries are in the current coarse bucket at or
+			// past wheelBase (schedules are future-only and the base only
+			// advances to fired rounds), so this scan always lands.
+			for r := e.wheelBase; ; r++ {
+				if len(e.wheel[r&wheelMask]) > 0 {
+					e.wheelBase = r
+					return r, true
+				}
+			}
 		}
+		if e.wheel1Count > 0 {
+			// Advance to the next occupied coarse bucket and scatter it:
+			// its rounds map to distinct level-0 slots.
+			for c := cb + 1; ; c++ {
+				b := e.wheel1[c&wheel1Mask]
+				if len(b) == 0 {
+					continue
+				}
+				min := b[0].round
+				for _, en := range b {
+					if en.round < min {
+						min = en.round
+					}
+					e.wheel[en.round&wheelMask] = append(e.wheel[en.round&wheelMask], en.ix)
+				}
+				e.wheel1[c&wheel1Mask] = b[:0]
+				e.wheel1Count -= len(b)
+				e.wheelCount += len(b)
+				e.wheelBase = min
+				break
+			}
+			continue
+		}
+		if len(e.spill) > 0 {
+			// Everything waits beyond the level-1 horizon: jump the
+			// clock straight to the earliest overflow round; the next
+			// iteration migrates it into the wheels.
+			e.wheelBase = e.spillMin
+			continue
+		}
+		return 0, false
 	}
 }
 
@@ -211,9 +268,10 @@ func (e *Engine) RunUntil(stop Stop, pollEvery, maxRound uint64) uint64 {
 			return maxRound
 		}
 		// Detach the round's wake buckets. The wheel bucket's backing
-		// array is reattached (emptied) after the round: new wake-ups
-		// for round r+wheelSize spill rather than landing in the
-		// detached slot, so the array is free for reuse.
+		// array is reattached (emptied) after the round: follow-up
+		// wake-ups land in other slots of the current coarse bucket or
+		// in level 1 (scheduling round r again mid-round is impossible
+		// — non-future wakes panic), so the array is free for reuse.
 		var wbkt, hbkt []int32
 		slot := -1
 		if len(e.wheel[r&wheelMask]) > 0 && r == e.wheelBase {

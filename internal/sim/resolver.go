@@ -34,6 +34,7 @@ type resolver struct {
 	direct bool
 
 	steps     []Step
+	hnd       []uint32 // phase-A handle scratch, parallel to steps
 	txs       []radio.Tx
 	listenIxs []int32
 	txSet     radio.TxSet
@@ -42,21 +43,60 @@ type resolver struct {
 	cellOrder []int32     // listener indices grouped by cell
 	shardEnd  []int32     // phase-B shard -> exclusive end cell
 	obsRec    []radio.Obs // index -> observation (only when a hook is set)
+
+	// seqScratch is the sequential phase-B scratch; parallel workers
+	// draw theirs from cellPool instead.
+	seqScratch *cellScratch
 }
 
 // Begin runs phase A: wake devices, collect steps, fold transmissions
-// and listeners, and schedule next wakes.
+// and listeners, and schedule next wakes. When block devices are
+// registered and the caller is in-process, the wake sweep batches
+// contiguous runs of same-handler devices into one WakeBlock call
+// instead of one interface call per device.
 func (v *resolver) Begin(r uint64, wakes []int32) {
 	e := v.e
 	if cap(v.steps) < len(wakes) {
 		v.steps = make([]Step, len(wakes))
 	}
 	steps := v.steps[:len(wakes)]
-	if v.direct {
+	switch {
+	case v.direct && e.batched:
+		// hnd mirrors steps index-for-index; chunks touch disjoint
+		// ranges, so the shared scratch is race-free and the sweep
+		// stays allocation-free (a chunk-local buffer would escape
+		// through the WakeBlock interface call and heap-allocate per
+		// chunk).
+		if cap(v.hnd) < len(wakes) {
+			v.hnd = make([]uint32, len(wakes))
+		}
+		hnd := v.hnd[:len(wakes)]
+		v.parallelChunks(len(wakes), func(lo, hi int) {
+			i := lo
+			for i < hi {
+				h := e.blockH[wakes[i]]
+				j := i + 1
+				for j < hi && e.blockH[wakes[j]] == h {
+					j++
+				}
+				if h == nil {
+					for k := i; k < j; k++ {
+						steps[k] = e.devices[wakes[k]].Wake(r)
+					}
+				} else {
+					for k := i; k < j; k++ {
+						hnd[k] = e.blockIx[wakes[k]]
+					}
+					h.WakeBlock(r, hnd[i:j], steps[i:j])
+				}
+				i = j
+			}
+		})
+	case v.direct:
 		v.parallelDo(len(wakes), func(i int) {
 			steps[i] = e.devices[wakes[i]].Wake(r)
 		})
-	} else {
+	default:
 		v.parallelDo(len(wakes), func(i int) {
 			steps[i] = v.call.Wake(wakes[i], r)
 		})
@@ -179,18 +219,34 @@ func (v *resolver) resolve(r uint64, rec []radio.Obs) {
 // large enough to amortize the steal.
 const shardTarget = 64
 
-// candPool recycles candidate buffers across the workers of concurrent
-// engines.
-var candPool = sync.Pool{New: func() interface{} { return new([]int32) }}
+// cellScratch is one worker's phase-B scratch: the candidate buffer for
+// the plain candidate path, the CellState for cell-shared media, and
+// the per-cell observation/handle buffers for batched delivery.
+type cellScratch struct {
+	cand []int32
+	cs   radio.CellState
+	obs  []radio.Obs
+	hnd  []uint32
+}
+
+// cellPool recycles phase-B scratch across the workers of concurrent
+// engines; the sequential path uses a resolver-owned scratch instead so
+// steady-state rounds stay allocation-free even across GC cycles.
+var cellPool = sync.Pool{New: func() interface{} { return new(cellScratch) }}
 
 // deliverCells resolves the round's listeners in spatial-cell order:
 // listeners are grouped by the transmission index's cells (counting
-// sort, allocation-free after warm-up), one sorted candidate superset
-// is gathered per cell and shared by every listener in it, and cells
-// are packed into contiguous shards claimed by workers through an
-// atomic cursor. Nearby listeners therefore share both the candidate
-// gather and its cache lines, and a jammed (expensive) region is split
-// across many shards instead of serializing one worker's chunk.
+// sort, allocation-free after warm-up), one candidate gather per cell
+// is shared by every listener in it — for cell-shared media
+// (radio.CellMedium) including the listener-independent half of the
+// math — and cells are packed into contiguous shards claimed by
+// workers through an atomic cursor. Nearby listeners therefore share
+// both the candidate work and its cache lines, and a jammed
+// (expensive) region is split across many shards instead of
+// serializing one worker's chunk. When block devices are registered,
+// each cell's observations are delivered in one DeliverBlock call per
+// contiguous same-handler run instead of one interface call per
+// listener.
 func (v *resolver) deliverCells(r uint64, cm radio.CandidateMedium, queryR float64, rec []radio.Obs) {
 	e := v.e
 	listeners := v.listenIxs
@@ -245,7 +301,10 @@ func (v *resolver) deliverCells(r uint64, cm radio.CandidateMedium, queryR float
 		v.shardEnd = append(v.shardEnd, int32(cells))
 	}
 
-	runShard := func(s int, cand *[]int32) {
+	cellM, _ := cm.(radio.CellMedium)
+	batch := v.direct && e.batched
+
+	runShard := func(s int, sc *cellScratch) {
 		lo := int32(0)
 		if s > 0 {
 			lo = v.shardEnd[s-1]
@@ -267,9 +326,56 @@ func (v *resolver) deliverCells(r uint64, cm radio.CandidateMedium, queryR float
 				pmax.X = math.Max(pmax.X, p.X)
 				pmax.Y = math.Max(pmax.Y, p.Y)
 			}
-			*cand = v.txSet.GatherBox((*cand)[:0], pmin, pmax, queryR)
-			for _, ix := range ord[a:b] {
-				v.deliverTo(rec, ix, r, cm.ObserveCand(r, e.ids[ix], e.pos[ix], txs, *cand))
+			if cellM != nil {
+				cellM.BeginCell(&sc.cs, r, &v.txSet, pmin, pmax)
+			} else {
+				sc.cand = v.txSet.GatherBox(sc.cand[:0], pmin, pmax, queryR)
+			}
+			observe := func(ix int32) radio.Obs {
+				if cellM != nil {
+					return cellM.ObserveCell(&sc.cs, r, e.ids[ix], e.pos[ix])
+				}
+				return cm.ObserveCand(r, e.ids[ix], e.pos[ix], txs, sc.cand)
+			}
+			if !batch {
+				for _, ix := range ord[a:b] {
+					v.deliverTo(rec, ix, r, observe(ix))
+				}
+				continue
+			}
+			// Batched delivery: resolve the cell into the observation
+			// buffer, then deliver per contiguous same-handler run.
+			ixs := ord[a:b]
+			sc.obs = sc.obs[:0]
+			for _, ix := range ixs {
+				sc.obs = append(sc.obs, observe(ix))
+			}
+			k := 0
+			for k < len(ixs) {
+				h := e.blockH[ixs[k]]
+				j := k + 1
+				for j < len(ixs) && e.blockH[ixs[j]] == h {
+					j++
+				}
+				bd, ok := h.(BlockDeliverer)
+				if !ok {
+					for t := k; t < j; t++ {
+						v.deliverTo(rec, ixs[t], r, sc.obs[t])
+					}
+					k = j
+					continue
+				}
+				sc.hnd = sc.hnd[:0]
+				for t := k; t < j; t++ {
+					sc.hnd = append(sc.hnd, e.blockIx[ixs[t]])
+				}
+				bd.DeliverBlock(r, sc.hnd, sc.obs[k:j])
+				if rec != nil {
+					for t := k; t < j; t++ {
+						rec[ixs[t]] = sc.obs[t]
+					}
+				}
+				k = j
 			}
 		}
 	}
@@ -280,11 +386,12 @@ func (v *resolver) deliverCells(r uint64, cm radio.CandidateMedium, queryR float
 		w = shards
 	}
 	if w <= 1 {
-		bufp := candPool.Get().(*[]int32)
-		for s := 0; s < shards; s++ {
-			runShard(s, bufp)
+		if v.seqScratch == nil {
+			v.seqScratch = new(cellScratch)
 		}
-		candPool.Put(bufp)
+		for s := 0; s < shards; s++ {
+			runShard(s, v.seqScratch)
+		}
 		return
 	}
 	var cursor atomic.Int32
@@ -293,15 +400,61 @@ func (v *resolver) deliverCells(r uint64, cm radio.CandidateMedium, queryR float
 	for k := 0; k < w; k++ {
 		go func() {
 			defer wg.Done()
-			bufp := candPool.Get().(*[]int32)
+			sc := cellPool.Get().(*cellScratch)
 			for {
 				s := int(cursor.Add(1)) - 1
 				if s >= shards {
 					break
 				}
-				runShard(s, bufp)
+				runShard(s, sc)
 			}
-			candPool.Put(bufp)
+			cellPool.Put(sc)
+		}()
+	}
+	wg.Wait()
+}
+
+// wakeChunk is the index-block size of the batched phase-A sweep:
+// large enough that one WakeBlock call amortizes across hundreds of
+// devices, small enough that work stealing still rebalances.
+const wakeChunk = 256
+
+// parallelChunks runs f over contiguous index chunks of at most
+// wakeChunk covering [0, n), fanning out across Workers goroutines
+// claiming chunks through an atomic cursor when configured.
+func (v *resolver) parallelChunks(n int, f func(lo, hi int)) {
+	chunks := (n + wakeChunk - 1) / wakeChunk
+	w := v.e.Workers
+	if w > chunks {
+		w = chunks
+	}
+	if w <= 1 {
+		for b := 0; b < chunks; b++ {
+			hi := (b + 1) * wakeChunk
+			if hi > n {
+				hi = n
+			}
+			f(b*wakeChunk, hi)
+		}
+		return
+	}
+	var cursor atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(cursor.Add(1)) - 1
+				if b >= chunks {
+					return
+				}
+				hi := (b + 1) * wakeChunk
+				if hi > n {
+					hi = n
+				}
+				f(b*wakeChunk, hi)
+			}
 		}()
 	}
 	wg.Wait()

@@ -12,9 +12,10 @@
 //
 // The engine is split along a transport seam (see driver.go):
 //
-//   - The round clock (clock.go) owns wake scheduling — a bucketed
-//     wheel with a sorted spill list, or the legacy map+heap calendar —
-//     plus stop conditions and per-round wake deduplication.
+//   - The round clock (clock.go) owns wake scheduling — a two-level
+//     hierarchical wheel with an unsorted far-overflow list, or the
+//     legacy map+heap calendar — plus stop conditions and per-round
+//     wake deduplication.
 //   - The round resolver (resolver.go) owns round resolution: phase A
 //     calls Wake on every scheduled device and collects the actions;
 //     phase B resolves the channel and calls Deliver on every listener.
@@ -31,15 +32,20 @@
 // warm-up. Devices get a compact index at Add; wake scheduling, step
 // collection and delivery all operate on dense slices keyed by that
 // index, and per-round wake-up deduplication uses a per-device epoch
-// stamp instead of sorting. The wake calendar is a bucketed wheel: a
-// ring of near-future round buckets whose backing arrays are reused
-// round after round, spilling far-future wake-ups into a sorted
-// overflow list (DisableWheel selects the legacy map+heap calendar for
-// equivalence testing). Channel resolution for dense rounds buckets the
-// round's transmissions into a spatial hash once (radio.TxSet) and
-// resolves listeners in spatial-cell order, sharing one sorted
-// candidate gather per cell (radio.CandidateMedium); observations are
-// bit-for-bit identical to the linear scan on every path.
+// stamp instead of sorting. The wake calendar is a two-level
+// hierarchical wheel (see clock.go): a ring of one-round slots for the
+// current coarse bucket, a ring of coarse buckets covering the next
+// ~16.7M rounds, and an unsorted overflow beyond that, so arbitrarily
+// long cycles never trigger a sort (DisableWheel selects the legacy
+// map+heap calendar for equivalence testing). Channel resolution for
+// dense rounds buckets the round's transmissions into a spatial hash
+// once (radio.TxSet) and resolves listeners in spatial-cell order,
+// sharing one candidate gather — and, for the built-in media, the
+// listener-independent half of the per-cell math (radio.CellMedium) —
+// per cell; observations are bit-for-bit identical to the linear scan
+// on every path. Devices backed by flat arrays can opt into batched
+// wake and delivery sweeps (BlockDevice), removing the per-device
+// interface call from both phases.
 //
 // Determinism is preserved because media are pure functions and each
 // device only mutates itself.
@@ -128,20 +134,31 @@ type Engine struct {
 	// Dense per-device tables, keyed by the compact index assigned at
 	// Add. The hot loops never touch a map.
 	devices []Device
-	ids     []int        // index -> device id
-	pos     []geom.Point // index -> position (cached at Add)
-	txCount []uint64     // index -> transmissions made
-	devIdx  map[int]int  // id -> index (Add/TxCount only)
+	ids     []int          // index -> device id
+	pos     []geom.Point   // index -> position (cached at Add)
+	txCount []uint64       // index -> transmissions made
+	blockH  []BlockHandler // index -> batch handler (nil: per-device calls)
+	blockIx []uint32       // index -> handle within its block handler
+	batched bool           // any device opted into batching
 
-	// Bucketed wake wheel: wheel[r&wheelMask] holds the device indices
-	// scheduled for round r, for r in [wheelBase, wheelBase+wheelSize).
-	// Entries for later rounds wait in spill, sorted lazily.
+	// id -> index lookup (Add/TxCount only). Small non-negative ids —
+	// the common case: experiments number devices 0..n-1 — live in a
+	// dense slice (value index+1, 0 = absent); anything else falls back
+	// to the map.
+	idIx   []int32
+	devIdx map[int]int
+
+	// Two-level hierarchical wake wheel (see clock.go): wheel holds the
+	// current coarse bucket's rounds one slot each, wheel1 holds the
+	// next wheel1Size-1 coarse buckets one slot each, spill is the
+	// unsorted overflow beyond the level-1 horizon.
 	wheel       [][]int32
 	wheelBase   uint64
 	wheelCount  int
+	wheel1      [][]spillEntry
+	wheel1Count int
 	spill       []spillEntry
 	spillMin    uint64
-	spillSorted bool
 
 	// Legacy calendar (DisableWheel).
 	heap     roundHeap
@@ -167,32 +184,70 @@ type Engine struct {
 // NewEngine returns an engine over the given medium.
 func NewEngine(m radio.Medium) *Engine {
 	return &Engine{
-		Medium:      m,
-		devIdx:      make(map[int]int),
-		wheel:       make([][]int32, wheelSize),
-		spillSorted: true,
+		Medium: m,
+		devIdx: make(map[int]int),
+		wheel:  make([][]int32, wheelSize),
+		wheel1: make([][]spillEntry, wheel1Size),
 	}
 }
 
+// lookupIx returns the compact index for a device id.
+func (e *Engine) lookupIx(id int) (int, bool) {
+	if id >= 0 && id < len(e.idIx) {
+		ix := e.idIx[id]
+		return int(ix) - 1, ix != 0
+	}
+	ix, ok := e.devIdx[id]
+	return ix, ok
+}
+
+// setIx records id -> ix, keeping ids that stay roughly dense in the
+// flat table and spilling sparse or negative ones to the map.
+func (e *Engine) setIx(id, ix int) {
+	if id >= 0 && id < 2*len(e.devices)+64 {
+		for len(e.idIx) <= id {
+			e.idIx = append(e.idIx, 0)
+		}
+		e.idIx[id] = int32(ix) + 1
+		return
+	}
+	e.devIdx[id] = ix
+}
+
 // Add registers a device and schedules its first wake-up. It panics on
-// duplicate ids.
+// duplicate ids. Devices implementing BlockDevice have their batch
+// handler cached here so the hot phases can sweep whole blocks.
 func (e *Engine) Add(d Device, firstWake uint64) {
 	id := d.ID()
-	if _, dup := e.devIdx[id]; dup {
+	if _, dup := e.lookupIx(id); dup {
 		panic(fmt.Sprintf("sim: duplicate device id %d", id))
 	}
 	ix := len(e.devices)
-	e.devIdx[id] = ix
 	e.devices = append(e.devices, d)
+	e.setIx(id, ix)
 	e.ids = append(e.ids, id)
 	e.pos = append(e.pos, d.Pos())
 	e.txCount = append(e.txCount, 0)
 	e.wakeStamp = append(e.wakeStamp, 0)
+	var h BlockHandler
+	var bix uint32
+	if bd, ok := d.(BlockDevice); ok {
+		h, bix = bd.Block()
+	}
+	e.blockH = append(e.blockH, h)
+	e.blockIx = append(e.blockIx, bix)
+	if h != nil {
+		e.batched = true
+	}
 	e.schedule(int32(ix), firstWake)
 }
 
 // Devices returns the number of registered devices.
 func (e *Engine) Devices() int { return len(e.devices) }
+
+// Batched reports whether any registered device opted into block
+// sweeps (see BlockDevice).
+func (e *Engine) Batched() bool { return e.batched }
 
 // DeviceAt returns the device with compact index ix (0 <= ix <
 // Devices(), in Add order). Transports use it to hand each device to
@@ -206,7 +261,13 @@ func (e *Engine) Round() uint64 { return e.round }
 func (e *Engine) ResolvedRounds() uint64 { return e.rounds }
 
 // TxCount returns the number of transmissions device id has made.
-func (e *Engine) TxCount(id int) uint64 { return e.txCount[e.devIdx[id]] }
+func (e *Engine) TxCount(id int) uint64 {
+	ix, ok := e.lookupIx(id)
+	if !ok {
+		return 0
+	}
+	return e.txCount[ix]
+}
 
 // TotalTx returns the total number of transmissions by all devices.
 func (e *Engine) TotalTx() uint64 {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"slices"
 	"sync/atomic"
 	"testing"
 
@@ -429,10 +430,12 @@ func (d *chaosDevice) Wake(r uint64) Step {
 	switch {
 	case j == 0:
 		st.NextWake = NoWake
-	case j == 1: // far beyond the wheel window: exercises the spill
+	case j == 1: // into level 1: exercises coarse-bucket scatter
 		st.NextWake = r + wheelSize + 1 + (h>>16)%(2*wheelSize)
-	case j == 2: // exactly at the window boundary
+	case j == 2: // exactly at the coarse-bucket boundary
 		st.NextWake = r + wheelSize
+	case j == 3: // past both wheel levels: exercises the overflow
+		st.NextWake = r + wheelSpan + (h>>16)%(3*wheelSize)
 	case j <= 5: // mid-range jump
 		st.NextWake = r + 64 + (h>>16)%1024
 	default: // near jump
@@ -545,10 +548,13 @@ func TestWheelMatchesHeapChunkedRuns(t *testing.T) {
 }
 
 // TestWheelExactSpillBoundaries pins the wheel's window arithmetic with
-// a scripted device waking exactly at, just past, and far past the
-// window edge.
+// a scripted device waking exactly at, just past, and far past both
+// level edges (coarse-bucket boundary and the full two-level horizon).
 func TestWheelExactSpillBoundaries(t *testing.T) {
-	rounds := []uint64{1, 2, wheelSize - 1, wheelSize, wheelSize + 1, 2*wheelSize + 3, 5*wheelSize + 7}
+	rounds := []uint64{
+		1, 2, wheelSize - 1, wheelSize, wheelSize + 1, 2*wheelSize + 3, 5*wheelSize + 7,
+		wheelSpan - 1, wheelSpan, wheelSpan + 1, 2*wheelSpan + wheelSize + 5,
+	}
 	run := func(disableWheel bool) []uint64 {
 		e := newTestEngine()
 		e.DisableWheel = disableWheel
@@ -573,6 +579,83 @@ func TestWheelExactSpillBoundaries(t *testing.T) {
 		if heapWakes[i] != rounds[i] || wheelWakes[i] != rounds[i] {
 			t.Fatalf("wake %d: heap %d wheel %d, want %d", i, heapWakes[i], wheelWakes[i], rounds[i])
 		}
+	}
+}
+
+// deepStrideDevice wakes every stride rounds (NoWake after its wake budget
+// runs out, if one is set), recording its wake rounds.
+type deepStrideDevice struct {
+	id     int
+	stride uint64
+	budget int
+	wakes  []uint64
+}
+
+func (d *deepStrideDevice) ID() int         { return d.id }
+func (d *deepStrideDevice) Pos() geom.Point { return geom.Point{X: float64(d.id), Y: 0} }
+func (d *deepStrideDevice) Wake(r uint64) Step {
+	d.wakes = append(d.wakes, r)
+	if d.budget > 0 && len(d.wakes) >= d.budget {
+		return Step{Action: Sleep, NextWake: NoWake}
+	}
+	return Step{Action: Listen, NextWake: r + d.stride}
+}
+func (d *deepStrideDevice) Deliver(uint64, radio.Obs) {}
+
+// TestWheelMatchesHeapDeepHorizons drives wake cycles far past both
+// wheel levels — strides around the coarse-bucket boundary, the last
+// level-1 bucket, the full two-level horizon, and deep overflow — with
+// duplicate overflow schedules, a NoWake dropout, and a mid-run Add
+// behind the wheel base (the rebase path), pinned identical to the
+// legacy heap calendar.
+func TestWheelMatchesHeapDeepHorizons(t *testing.T) {
+	strides := []uint64{
+		wheelSize - 1, wheelSize, wheelSize + 1, // level-0/level-1 boundary
+		3*wheelSize + 5,                         // mid level-1
+		wheelSpan - wheelSize,                   // last level-1 bucket
+		wheelSpan - 1, wheelSpan, wheelSpan + 1, // level-1/overflow boundary
+		2*wheelSpan + 12345, // deep overflow: migrates twice
+	}
+	const maxRound = 5 * wheelSpan / 2
+	run := func(disableWheel bool) ([]*deepStrideDevice, *Engine) {
+		e := NewEngine(&radio.DiskMedium{R: 2, Metric: geom.LInf})
+		e.DisableWheel = disableWheel
+		devs := make([]*deepStrideDevice, 0, len(strides)+2)
+		for i, s := range strides {
+			d := &deepStrideDevice{id: i, stride: s}
+			devs = append(devs, d)
+			e.Add(d, uint64(i)+1)
+		}
+		// A device that stops waking after five deep cycles.
+		dn := &deepStrideDevice{id: len(strides), stride: wheelSpan + 7, budget: 5}
+		devs = append(devs, dn)
+		e.Add(dn, 2)
+		// Duplicate wake-ups deep in the overflow and at the horizon edge.
+		e.schedule(0, wheelSpan+5)
+		e.schedule(0, wheelSpan+5)
+		e.schedule(1, wheelSpan-1)
+		e.schedule(1, 2*wheelSpan+3)
+		e.RunUntil(nil, 0, maxRound/2)
+		// Adding behind the advanced wheel base forces a rebase.
+		late := &deepStrideDevice{id: len(strides) + 1, stride: wheelSpan - 3}
+		devs = append(devs, late)
+		e.Add(late, e.Round()+1)
+		e.RunUntil(nil, 0, maxRound)
+		return devs, e
+	}
+	heapDevs, he := run(true)
+	wheelDevs, we := run(false)
+	if he.ResolvedRounds() != we.ResolvedRounds() || he.Round() != we.Round() {
+		t.Fatalf("heap resolved %d rounds (ending %d), wheel %d (ending %d)",
+			he.ResolvedRounds(), he.Round(), we.ResolvedRounds(), we.Round())
+	}
+	for i := range heapDevs {
+		if !slices.Equal(heapDevs[i].wakes, wheelDevs[i].wakes) {
+			t.Fatalf("device %d: heap wakes %v, wheel wakes %v", i, heapDevs[i].wakes, wheelDevs[i].wakes)
+		}
+	}
+	if len(heapDevs[0].wakes) == 0 || heapDevs[len(strides)].wakes[len(heapDevs[len(strides)].wakes)-1] >= maxRound {
+		t.Fatal("deep workload did not exercise the horizon as intended")
 	}
 }
 
@@ -638,6 +721,128 @@ func TestDenseRoundUsesCandidatePath(t *testing.T) {
 	e.RunUntil(nil, 0, 10)
 	if cm.cand == 0 {
 		t.Fatal("dense round did not use the candidate (cell-sharded) path")
+	}
+}
+
+// countingCellMedium embeds the concrete Friis medium (so CellMedium is
+// satisfied by promotion) and tallies BeginCell calls.
+type countingCellMedium struct {
+	*radio.FriisMedium
+	cells int32
+}
+
+func (c *countingCellMedium) BeginCell(cs *radio.CellState, round uint64, set *radio.TxSet, lo, hi geom.Point) {
+	atomic.AddInt32(&c.cells, 1)
+	c.FriisMedium.BeginCell(cs, round, set, lo, hi)
+}
+
+// TestDenseRoundUsesCellPath asserts the engine routes built-in media
+// through the shared per-cell half, while countingCandMedium above —
+// a wrapper embedding only the CandidateMedium interface — must stay on
+// the per-listener candidate path so its override keeps effect.
+func TestDenseRoundUsesCellPath(t *testing.T) {
+	cm := &countingCellMedium{FriisMedium: radio.NewFriisMedium(2.5, 5)}
+	e := NewEngine(cm)
+	denseScripted(e, 400)
+	e.RunUntil(nil, 0, 10)
+	if cm.cells == 0 {
+		t.Fatal("dense round did not use the cell-shared path")
+	}
+}
+
+// blockFleet is a flat-array test fleet: the block sweeps and the
+// per-device methods run the same step/deliver logic, and every
+// delivered observation is logged per device for comparison.
+type blockFleet struct {
+	pos []geom.Point
+	log [][]radio.Obs
+}
+
+func (g *blockFleet) step(h uint32, r uint64) Step {
+	switch (uint64(h)*2654435761 + r) % 7 {
+	case 0, 1:
+		return Step{Action: Transmit, Frame: radio.Frame{Kind: radio.KindData, Src: int(h), Payload: r}, NextWake: r + 1 + (uint64(h)+r)%4}
+	case 2:
+		return Step{Action: Sleep, NextWake: r + 3}
+	default:
+		return Step{Action: Listen, NextWake: r + 1 + uint64(h)%3}
+	}
+}
+
+func (g *blockFleet) WakeBlock(r uint64, handles []uint32, steps []Step) {
+	for k, h := range handles {
+		steps[k] = g.step(h, r)
+	}
+}
+
+func (g *blockFleet) DeliverBlock(r uint64, handles []uint32, obs []radio.Obs) {
+	for k, h := range handles {
+		g.log[h] = append(g.log[h], obs[k])
+	}
+}
+
+// blockFleetDev opts into the batched sweeps; plainFleetDev is the same
+// device without Block, keeping the engine on the per-device methods.
+type blockFleetDev struct {
+	g  *blockFleet
+	id int32
+}
+
+func (d *blockFleetDev) ID() int                         { return int(d.id) }
+func (d *blockFleetDev) Pos() geom.Point                 { return d.g.pos[d.id] }
+func (d *blockFleetDev) Wake(r uint64) Step              { return d.g.step(uint32(d.id), r) }
+func (d *blockFleetDev) Deliver(r uint64, obs radio.Obs) { d.g.log[d.id] = append(d.g.log[d.id], obs) }
+func (d *blockFleetDev) Block() (BlockHandler, uint32)   { return d.g, uint32(d.id) }
+
+type plainFleetDev struct{ blockFleetDev }
+
+func (d *plainFleetDev) Block() {} // not a BlockDevice: wrong signature shadows the promotion
+
+// TestBlockDeviceMatchesPerDevice pins the batched phase-A/phase-B
+// sweeps bit-for-bit to the per-device Wake/Deliver path, sequentially
+// and with workers (the -race run covers the disjoint-handle contract).
+func TestBlockDeviceMatchesPerDevice(t *testing.T) {
+	const n, rounds = 300, 200
+	run := func(batched bool, workers int) *blockFleet {
+		m := radio.NewFriisMedium(2.5, 11)
+		m.LossProb = 0.2
+		e := NewEngine(m)
+		e.Workers = workers
+		side := 1
+		for side*side < n {
+			side++
+		}
+		g := &blockFleet{pos: make([]geom.Point, n), log: make([][]radio.Obs, n)}
+		for i := range g.pos {
+			g.pos[i] = geom.Point{X: float64(i % side), Y: float64(i / side)}
+		}
+		if batched {
+			ds := make([]blockFleetDev, n)
+			for i := range ds {
+				ds[i] = blockFleetDev{g: g, id: int32(i)}
+				e.Add(&ds[i], 1)
+			}
+		} else {
+			ds := make([]plainFleetDev, n)
+			for i := range ds {
+				ds[i] = plainFleetDev{blockFleetDev{g: g, id: int32(i)}}
+				e.Add(&ds[i], 1)
+			}
+		}
+		if e.batched != batched {
+			t.Fatalf("engine batched = %v, want %v", e.batched, batched)
+		}
+		e.RunUntil(nil, 0, rounds)
+		return g
+	}
+	ref := run(false, 0)
+	for _, workers := range []int{0, 4} {
+		got := run(true, workers)
+		for i := range ref.log {
+			if !slices.Equal(ref.log[i], got.log[i]) {
+				t.Fatalf("workers=%d device %d: batched observations diverge from per-device path", workers, i)
+			}
+		}
 	}
 }
 

@@ -142,14 +142,51 @@ func (r *Rand) Sample(n, k int) []int {
 	return out
 }
 
+// hashInit is the Hash64 absorption state before any word.
+const hashInit = uint64(0x51_7c_c1_b7_27_22_0a_95)
+
 // Hash64 deterministically mixes the given words into a single 64-bit
 // value. It is used to derive per-(round, receiver, transmitter) loss
 // decisions in the radio medium without storing any state.
 func Hash64(words ...uint64) uint64 {
-	s := uint64(0x51_7c_c1_b7_27_22_0a_95)
+	s := hashInit
 	for _, w := range words {
 		s ^= w
 		s = splitmix64(&s)
 	}
 	return splitmix64(&s)
+}
+
+// Incremental Hash64: because Hash64 absorbs its words sequentially,
+// a shared word prefix has a shared absorption state, which hot loops
+// exploit by computing the state once and absorbing only the varying
+// suffix per item. For any words a..d,
+//
+//	Hash64(a, b, c, d) == HashFinish(HashAbsorb(HashAbsorb(HashPrefix(a, b), c), d))
+//
+// bit for bit — the radio medium's fade hash relies on this to share
+// the (seed, round) prefix across a cell and the listener state across
+// that listener's candidates. The same lane-tag discipline as Hash64
+// applies to absorbed words (see lanes.go).
+
+// HashPrefix absorbs words into a Hash64 state and returns the state
+// (not a final hash value — pass it to HashAbsorb/HashFinish).
+func HashPrefix(words ...uint64) uint64 {
+	s := hashInit
+	for _, w := range words {
+		s ^= w
+		s = splitmix64(&s)
+	}
+	return s
+}
+
+// HashAbsorb absorbs one more word into a HashPrefix state.
+func HashAbsorb(state, word uint64) uint64 {
+	state ^= word
+	return splitmix64(&state)
+}
+
+// HashFinish finalizes an absorption state into the Hash64 value.
+func HashFinish(state uint64) uint64 {
+	return splitmix64(&state)
 }
