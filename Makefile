@@ -1,6 +1,6 @@
 # Convenience targets; everything here is plain go tool invocations.
 
-.PHONY: test race lint golden golden-check fuzz bench bench-scale
+.PHONY: test race lint golden golden-check serve-smoke fuzz bench bench-scale
 
 test:
 	go build ./... && go test ./...
@@ -37,6 +37,14 @@ golden-check:
 			diff -u cmd/rbexp/testdata/$${exp}_golden.json - || \
 			{ echo "GOLDEN DRIFT: $$exp (regenerate deliberately with 'make golden')"; status=1; }; \
 	done; exit $$status
+
+# End-to-end smoke for `rbexp serve` over real sockets: start a server
+# on a fresh cache, submit the families grid, diff the aggregate tables
+# endpoint against the checked-in golden, and assert a warm re-submit
+# executes zero cells (see scripts/serve_smoke.sh; CI's serve job runs
+# exactly this target).
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # The two measured benchmark suites, invoked exactly as the CI bench
 # job runs them (see .github/workflows/ci.yml) so local numbers are

@@ -26,6 +26,18 @@
 // machine-readable JSON document instead of aligned text; with a fixed
 // seed the document is byte-identical across runs, which is what the
 // CI golden checks diff.
+//
+// -cache <dir> attaches a persistent sweep-cell results cache: every
+// repetition of every cell is content-addressed by its canonical
+// sweep.CellKey, served from the cache when present and stored
+// (atomically) after computing otherwise. A run killed mid-sweep and
+// restarted with the same -cache dir resumes — it recomputes only the
+// missing cells — and its output stays byte-identical to an uncached
+// run. Valid seeds are 1..2^64-1: -seed 0 is rejected (the library
+// would silently alias it to 1).
+//
+// The serve subcommand (`rbexp serve -addr :8080 -cache dir`) fronts
+// the same cells with an HTTP/JSON API; see serve.go.
 package main
 
 import (
@@ -35,25 +47,35 @@ import (
 
 	"authradio/internal/core"
 	"authradio/internal/experiment"
+	"authradio/internal/sweep"
 
 	_ "authradio/internal/protocols"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		os.Exit(runServe(os.Args[2:]))
+	}
 	var (
-		exp     = flag.String("exp", "all", "experiment name or 'all'")
-		full    = flag.Bool("full", false, "paper-scale parameters (slow)")
-		seed    = flag.Uint64("seed", 1, "root random seed")
-		reps    = flag.Int("reps", 0, "override repetitions per cell (0 = preset)")
-		workers = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		jsonOut = flag.Bool("json", false, "emit one JSON document per experiment (stable for a fixed seed)")
-		quiet   = flag.Bool("q", false, "suppress per-cell progress")
-		mixes   = flag.String("mixes", "", "comma-separated adversary mixes overriding the ladder of the matrix/dropoff sweeps (e.g. clean,liar15,jam10b32,spoof10b16)")
+		exp      = flag.String("exp", "all", "experiment name or 'all'")
+		full     = flag.Bool("full", false, "paper-scale parameters (slow)")
+		seed     = flag.Uint64("seed", 1, "root random seed (>= 1)")
+		reps     = flag.Int("reps", 0, "override repetitions per cell (0 = preset)")
+		workers  = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut  = flag.Bool("json", false, "emit one JSON document per experiment (stable for a fixed seed)")
+		quiet    = flag.Bool("q", false, "suppress per-cell progress")
+		mixes    = flag.String("mixes", "", "comma-separated adversary mixes overriding the ladder of the matrix/dropoff sweeps (e.g. clean,liar15,jam10b32,spoof10b16)")
+		cacheDir = flag.String("cache", "", "persistent sweep-cell results cache directory (store-and-resume; empty = no cache)")
 	)
 	var params core.ParamFlag
 	flag.Var(&params, "param", "typed driver knob name=value overlaid on every cell (repeatable)")
 	flag.Parse()
+
+	if *seed == 0 {
+		fmt.Fprintln(os.Stderr, "rbexp: -seed 0 is not a valid seed (valid seeds are 1..2^64-1; 0 would silently alias to 1)")
+		os.Exit(2)
+	}
 
 	opt := experiment.Options{
 		Full:    *full,
@@ -61,6 +83,16 @@ func main() {
 		Reps:    *reps,
 		Workers: *workers,
 		Params:  params.Params,
+	}
+	var stats sweep.Stats
+	if *cacheDir != "" {
+		cache, err := sweep.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rbexp: opening cache: %v\n", err)
+			os.Exit(1)
+		}
+		opt.Cache = cache
+		opt.Sweep = &stats
 	}
 	if *mixes != "" {
 		ms, err := experiment.ParseMixes(*mixes)
@@ -99,11 +131,21 @@ func main() {
 		for _, tbl := range tables {
 			if *csv {
 				fmt.Printf("# %s\n", tbl.Title)
-				tbl.CSV(os.Stdout)
+				if err := tbl.CSV(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
 				fmt.Println()
 			} else {
 				tbl.Fprint(os.Stdout)
 			}
 		}
+	}
+	if opt.Cache != nil {
+		fmt.Fprintf(os.Stderr, "cache %s: %d executed, %d hits", *cacheDir, stats.Executed(), stats.Hits())
+		if stats.Errors() > 0 {
+			fmt.Fprintf(os.Stderr, ", %d WRITE ERRORS (resume incomplete)", stats.Errors())
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 }

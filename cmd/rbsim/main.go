@@ -84,7 +84,7 @@ func main() {
 		budget   = flag.Int("budget", 0, "per-jammer broadcast budget (0 = unlimited)")
 		spBudget = flag.Int("spoofbudget", 0, "per-spoofer broadcast budget (0 = unlimited)")
 		mix      = flag.String("mix", "", "compact adversary mix label (e.g. liar15, jam10b32, liar5+spoof10b16) instead of the individual fraction flags")
-		seed     = flag.Uint64("seed", 1, "random seed")
+		seed     = flag.Uint64("seed", 1, "random seed (>= 1)")
 		rep      = flag.Int("rep", 0, "repetition index (varies deployment/roles)")
 		maxR     = flag.Uint64("maxrounds", defaultMaxRounds, "round cap")
 		stats    = flag.Bool("stats", false, "print channel statistics (tx by kind, utilisation)")
@@ -107,6 +107,10 @@ func main() {
 	if strings.EqualFold(*proto, "list") {
 		fmt.Print(protocolList())
 		return
+	}
+	if *seed == 0 {
+		fmt.Fprintln(os.Stderr, "rbsim: -seed 0 is not a valid seed (valid seeds are 1..2^64-1; the experiment library aliases 0 to 1, so 0 cannot name a distinct stream)")
+		os.Exit(2)
 	}
 	drv, ok := core.Lookup(*proto)
 	if !ok {

@@ -50,6 +50,37 @@ func paperMetrics(agg Agg) (latency, delivery, spurious, energy string) {
 		fmt.Sprintf("%.0f", agg.HonestTx.Mean)
 }
 
+// FamiliesGrid enumerates the families sweep's scenarios — the shared
+// 10%-liar grid crossed with the given instances (nil or empty =
+// every core.Instances() entry) — and returns them with the
+// per-cell repetition count. It is the single enumeration path behind
+// both `rbexp -exp families` and the sweep service's families grid,
+// so the CLI and the server can never drift in cell content.
+func FamiliesGrid(o Options, instances []string) ([]Scenario, int) {
+	gridW := 9
+	if o.Full {
+		gridW = 13
+	}
+	reps := o.reps(2, 5)
+	base := Scenario{
+		Name:         "families",
+		Deploy:       GridDeploy,
+		GridW:        gridW,
+		Range:        2,
+		MsgLen:       4,
+		AdversaryMix: FamiliesMix,
+		Seed:         o.seed(),
+	}
+	if len(instances) == 0 {
+		instances = core.Instances()
+	}
+	scens := SweepInstances(base, instances)
+	for i := range scens {
+		scens[i].MaxRounds = maxRoundsFor(familyOf(scens[i].ProtocolName), o.Full)
+	}
+	return scens, reps
+}
+
 // Families is the protocol-family sweep: it enumerates every
 // registered instance (core.Instances() — plain drivers plus each
 // family preset) over one shared scenario grid with 10% lying devices,
@@ -65,26 +96,14 @@ func Families(o Options) []Table {
 	if o.Full {
 		gridW = 13
 	}
-	reps := o.reps(2, 5)
-
-	base := Scenario{
-		Name:         "families",
-		Deploy:       GridDeploy,
-		GridW:        gridW,
-		Range:        2,
-		MsgLen:       4,
-		AdversaryMix: FamiliesMix,
-		Seed:         o.seed(),
-	}
-	instances := core.Instances()
+	scens, reps := FamiliesGrid(o, nil)
 	tbl := Table{
 		Title: "Protocol families — the four paper metrics per registered instance",
 		Note: fmt.Sprintf("%dx%d analytical grid, R=2, 4-bit message, %.0f%% liars, %d reps; every core.Instances() entry: latency = mean last completion round, delivery = %% honest complete, spurious = %% of completed accepting a wrong message, energy = mean honest broadcasts",
 			gridW, gridW, 100*FamiliesMix.LiarFrac, reps),
 		Header: []string{"instance", "family", "latency", "delivery %", "spurious %", "energy (tx)"},
 	}
-	for _, s := range SweepInstances(base, instances) {
-		s.MaxRounds = maxRoundsFor(familyOf(s.ProtocolName), o.Full)
+	for _, s := range scens {
 		_, agg := cell(s, o, reps)
 		lat, del, spur, en := paperMetrics(agg)
 		tbl.Add(s.ProtocolName, familyOf(s.ProtocolName), lat, del, spur, en)

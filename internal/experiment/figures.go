@@ -5,15 +5,25 @@ import (
 
 	"authradio/internal/core"
 	"authradio/internal/stats"
+	"authradio/internal/sweep"
 )
 
 // cell runs a scenario for the configured repetitions and returns both
 // raw results and their aggregate. Command-line knobs (Options.Params)
-// overlay the scenario's own bag here, so every named experiment is
-// -param-drivable without per-runner wiring.
+// overlay the scenario's own bag (inside SweepCells), so every named
+// experiment is -param-drivable without per-runner wiring. Every
+// experiment's repetitions route through the sweep pool: each becomes
+// an addressable sweep.Cell, so attaching Options.Cache makes any
+// experiment store-and-resume with no per-runner code — a killed sweep
+// restarted with the same cache dir recomputes only missing cells, and
+// the aggregate is byte-identical because cached results round-trip
+// exactly (core.Result is all integers and bools).
 func cell(s Scenario, o Options, reps int) ([]core.Result, Agg) {
-	s.Params = s.Params.Merge(o.Params)
-	rs := Repeat(s, reps, o.Workers)
+	rs := sweep.Run(SweepCells(s, o, reps), sweep.Config{
+		Cache:   o.Cache,
+		Workers: o.Workers,
+		Stats:   o.Sweep,
+	})
 	agg := Aggregate(rs)
 	o.progress("  %-28s completion %.1f%%  correct %.1f%%  rounds %.0f",
 		s.Name, agg.CompletionPct.Mean, agg.CorrectPct.Mean, agg.EndRound.Mean)

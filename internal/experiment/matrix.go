@@ -172,6 +172,43 @@ func SweepMatrix(base Scenario, instances []string, mixes []AdversaryMix) []Scen
 	return out
 }
 
+// MatrixGrid enumerates the matrix sweep's scenarios — the shared
+// analytical grid crossed instance-major with the adversary ladder —
+// restricted to the given instances and mixes (nil or empty selects
+// every core.Instances() entry and the Options ladder), and returns
+// them with the per-cell repetition count. It is the single
+// enumeration path behind `rbexp -exp matrix` and the sweep service's
+// matrix grid. Because cell identity is content-addressed (scenario
+// *names* are not part of the key), the dropoff sweep's ladder walk
+// lands on exactly these cells too: a cache warmed by one sweep
+// serves the others.
+func MatrixGrid(o Options, instances []string, mixes []AdversaryMix) ([]Scenario, int) {
+	gridW := 7
+	if o.Full {
+		gridW = 11
+	}
+	reps := o.reps(1, 3)
+	base := Scenario{
+		Name:   "matrix",
+		Deploy: GridDeploy,
+		GridW:  gridW,
+		Range:  2,
+		MsgLen: 4,
+		Seed:   o.seed(),
+	}
+	if len(instances) == 0 {
+		instances = core.Instances()
+	}
+	if len(mixes) == 0 {
+		mixes = o.ladder()
+	}
+	scens := SweepMatrix(base, instances, mixes)
+	for i := range scens {
+		scens[i].MaxRounds = maxRoundsFor(familyOf(scens[i].ProtocolName), o.Full)
+	}
+	return scens, reps
+}
+
 // Matrix is the adversary-ladder matrix sweep: every registered
 // instance (core.Instances()) crossed with the default adversary
 // ladder (Ladder), the four paper metrics per (instance, mix) cell.
@@ -183,26 +220,15 @@ func Matrix(o Options) []Table {
 	if o.Full {
 		gridW = 11
 	}
-	reps := o.reps(1, 3)
+	scens, reps := MatrixGrid(o, nil, nil)
 	mixes := o.ladder()
-
-	base := Scenario{
-		Name:   "matrix",
-		Deploy: GridDeploy,
-		GridW:  gridW,
-		Range:  2,
-		MsgLen: 4,
-		Seed:   o.seed(),
-	}
-	instances := core.Instances()
 	tbl := Table{
 		Title: "Adversary matrix — the four paper metrics per instance × adversary mix",
 		Note: fmt.Sprintf("%dx%d analytical grid, R=2, 4-bit message, %d reps; every core.Instances() entry × %d mixes (liar ladder, per-jammer budget ladder, spoofers, crash-recover churn); latency = mean last completion round, delivery = %% honest complete, spurious = %% of completed accepting a wrong message, energy = mean honest broadcasts, comps = mean live components, src del = %% delivery within the source's component",
 			gridW, gridW, reps, len(mixes)),
 		Header: []string{"instance", "family", "mix", "latency", "delivery %", "spurious %", "energy (tx)", "comps", "src del %"},
 	}
-	for _, s := range SweepMatrix(base, instances, mixes) {
-		s.MaxRounds = maxRoundsFor(familyOf(s.ProtocolName), o.Full)
+	for _, s := range scens {
 		_, agg := cell(s, o, reps)
 		lat, del, spur, en := paperMetrics(agg)
 		tbl.Add(s.ProtocolName, familyOf(s.ProtocolName), s.Mix(), lat, del, spur, en,

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -8,6 +9,7 @@ import (
 	"unicode/utf8"
 
 	"authradio/internal/core"
+	"authradio/internal/sweep"
 )
 
 // Table is a rendered experiment result: the rows the paper's figure or
@@ -55,7 +57,14 @@ func (t *Table) Fprint(w io.Writer) {
 	line := func(cells []string) {
 		parts := make([]string, len(cells))
 		for i, c := range cells {
-			parts[i] = pad(c, widths[i])
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				// A row wider than the header has no column to align
+				// against: render the extra cells unpadded instead of
+				// panicking.
+				parts[i] = c
+			}
 		}
 		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
 	}
@@ -79,12 +88,22 @@ func pad(s string, w int) string {
 	return s + strings.Repeat(" ", w-n)
 }
 
-// CSV renders the table as comma-separated values.
-func (t *Table) CSV(w io.Writer) {
-	fmt.Fprintln(w, strings.Join(t.Header, ","))
-	for _, row := range t.Rows {
-		fmt.Fprintln(w, strings.Join(row, ","))
+// CSV renders the table as RFC 4180 comma-separated values: cells
+// containing commas, quotes or newlines (a string -param echoed into a
+// label, a note with punctuation) are quoted instead of silently
+// corrupting the record structure.
+func (t *Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
 	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // JSONReport is the machine-readable form of one named experiment's
@@ -134,7 +153,10 @@ type Options struct {
 	// Full selects paper-scale parameters; the default is a reduced
 	// preset that completes in seconds (for tests and benchmarks).
 	Full bool
-	// Seed drives all randomness (default 1).
+	// Seed drives all randomness. Valid seeds are 1..2^64-1: the
+	// library treats 0 as 1 (so the zero Options value is runnable),
+	// and both commands reject -seed 0 up front so the aliasing can
+	// never silently make two flag values produce identical sweeps.
 	Seed uint64
 	// Reps overrides the repetition count (0 = preset default).
 	Reps int
@@ -151,6 +173,16 @@ type Options struct {
 	Mixes []AdversaryMix
 	// Progress, if non-nil, receives one line per completed cell.
 	Progress io.Writer
+	// Cache, if non-nil, is the persistent sweep-cell results cache
+	// (rbexp -cache): every repetition of every cell is addressed by
+	// its canonical sweep.CellKey, served from the cache when present
+	// and stored after computing otherwise, making any experiment
+	// store-and-resume without changing its output bytes.
+	Cache *sweep.Cache
+	// Sweep, if non-nil, accumulates executed/hit counters across the
+	// run's cells (the resume and warm-cache guarantees are asserted
+	// against it).
+	Sweep *sweep.Stats
 }
 
 func (o Options) seed() uint64 {

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/csv"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestCSVQuoting: cells containing commas, quotes or newlines must
+// survive a CSV round trip — the old strings.Join renderer silently
+// corrupted the record structure for any such cell (e.g. a string
+// -param echoed into a label).
+func TestCSVQuoting(t *testing.T) {
+	tbl := Table{
+		Header: []string{"instance", "label", "note"},
+		Rows: [][]string{
+			{"GossipRB", "plain", "1.0"},
+			{"GossipRB/f2p0.5", `label,with,commas`, `say "hi"`},
+			{"nw", "multi\nline", "trailing"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tbl.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(bytes.NewReader(buf.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v\n%s", err, buf.Bytes())
+	}
+	want := append([][]string{tbl.Header}, tbl.Rows...)
+	if !reflect.DeepEqual(records, want) {
+		t.Fatalf("CSV round trip changed the table:\ngot  %q\nwant %q", records, want)
+	}
+	// The quoting is RFC 4180: the comma cell must be quoted, the
+	// plain row must stay unquoted (byte-compatible with the old
+	// renderer for well-behaved cells).
+	out := buf.String()
+	if !strings.Contains(out, `"label,with,commas"`) {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, "GossipRB,plain,1.0\n") {
+		t.Errorf("plain row changed shape:\n%s", out)
+	}
+}
+
+// TestFprintRaggedRow: a row wider than the header must render (extra
+// cells unpadded) instead of panicking on widths[i].
+func TestFprintRaggedRow(t *testing.T) {
+	tbl := Table{
+		Title:  "ragged",
+		Header: []string{"a", "b"},
+		Rows: [][]string{
+			{"1", "2"},
+			{"1", "2", "3", "4"}, // wider than the header
+			{"only"},             // narrower, too
+		},
+	}
+	var buf bytes.Buffer
+	tbl.Fprint(&buf) // must not panic
+	out := buf.String()
+	for _, want := range []string{"ragged", "3  4", "only"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestOptionsSeedZeroAliases documents the library-level default the
+// commands guard: Options.Seed 0 is treated as 1 (so the zero Options
+// value runs), which is why rbexp and rbsim reject -seed 0 up front.
+func TestOptionsSeedZeroAliases(t *testing.T) {
+	if (Options{}).seed() != 1 {
+		t.Fatal("zero Options must default to seed 1")
+	}
+	if (Options{Seed: 7}).seed() != 7 {
+		t.Fatal("explicit seeds must pass through")
+	}
+}

@@ -1,0 +1,137 @@
+package sweep
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"authradio/internal/core"
+)
+
+// Cache is the persistent store-and-resume results cache: one JSON
+// document per cell, content-addressed by CellKey.ID, sharded into
+// 256 two-hex-digit subdirectories so million-cell caches never put a
+// million entries in one directory.
+//
+// Writes are atomic (temp file + rename), so a reader can never
+// observe a half-written entry and a killed sweep leaves only whole
+// entries behind — that is the resume story. Reads are defensive:
+// anything unexpected (unreadable file, corrupt JSON, a schema stamp
+// from another code version, a key-string mismatch from a hash
+// collision or a tampered file) is a miss, never an error and never a
+// wrong result; the cell recomputes and the entry is rewritten. The
+// cache is safe for concurrent use by any number of goroutines and
+// processes: concurrent writers of one cell race to rename
+// byte-identical documents.
+type Cache struct {
+	dir string
+}
+
+// Open returns a cache rooted at dir, creating it if needed.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// entry is the on-disk document: the schema stamp and the full key
+// string are stored alongside the result so Get can verify it is
+// serving exactly the requested cell from exactly this code version.
+type entry struct {
+	Schema int         `json:"schema"`
+	Key    string      `json:"key"`
+	Result core.Result `json:"result"`
+}
+
+// EntryPath returns the path at which k's document is (or would be)
+// stored.
+func (c *Cache) EntryPath(k CellKey) string { return c.idPath(k.ID()) }
+
+func (c *Cache) idPath(id string) string {
+	return filepath.Join(c.dir, id[:2], id+".json")
+}
+
+// Get returns the cached result for k, or ok=false on any kind of
+// miss: absent, unreadable, corrupt, stamped by a different schema
+// version, or recorded under a different key string.
+func (c *Cache) Get(k CellKey) (core.Result, bool) {
+	buf, err := os.ReadFile(c.idPath(k.ID()))
+	if err != nil {
+		return core.Result{}, false
+	}
+	var e entry
+	if err := json.Unmarshal(buf, &e); err != nil {
+		return core.Result{}, false
+	}
+	if e.Schema != Schema || e.Key != k.String() {
+		return core.Result{}, false
+	}
+	return e.Result, true
+}
+
+// Put stores r as k's document atomically: the bytes are written to a
+// temp file in the destination shard and renamed into place, so
+// concurrent readers see either the whole entry or none, and a killed
+// writer leaves no partial entry.
+func (c *Cache) Put(k CellKey, r core.Result) error {
+	id := k.ID()
+	shard := filepath.Join(c.dir, id[:2])
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(entry{Schema: Schema, Key: k.String(), Result: r}, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	tmp, err := os.CreateTemp(shard, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.idPath(id)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// GetDoc returns the raw stored JSON document for a cell id (as
+// served by `rbexp serve` under /results/<id>). The id must be a
+// 64-character hex content address; the stored document is verified
+// to parse and carry the current schema stamp before being served.
+func (c *Cache) GetDoc(id string) ([]byte, bool) {
+	if len(id) != 64 || !isHex(id) {
+		return nil, false
+	}
+	buf, err := os.ReadFile(c.idPath(id))
+	if err != nil {
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(buf, &e); err != nil || e.Schema != Schema {
+		return nil, false
+	}
+	return buf, true
+}
+
+func isHex(s string) bool {
+	for _, r := range s {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,132 @@
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"authradio/internal/core"
+)
+
+// Cell is one addressable unit of work: its canonical key and the
+// closure that computes its result from scratch. Compute must be a
+// pure function of the key's content (same key ⇒ same result), which
+// is what entitles the pool to substitute a cached result for a call.
+type Cell struct {
+	Key     CellKey
+	Compute func() core.Result
+	// Label is a display name for progress/streaming output; it is
+	// not part of the cell's identity.
+	Label string
+}
+
+// Stats counts what a run did, atomically: Executed cells actually
+// computed, Hits served from the cache, and Errors from failed cache
+// writes (a failed Put never fails the run — the result was computed
+// and is returned — but it would silently disable resume, so it is
+// counted and surfaced by the callers that care).
+type Stats struct {
+	executed atomic.Uint64
+	hits     atomic.Uint64
+	errors   atomic.Uint64
+}
+
+// Executed returns how many cells were computed (cache misses).
+func (s *Stats) Executed() uint64 { return s.executed.Load() }
+
+// Hits returns how many cells were served from the cache.
+func (s *Stats) Hits() uint64 { return s.hits.Load() }
+
+// Errors returns how many cache writes failed.
+func (s *Stats) Errors() uint64 { return s.errors.Load() }
+
+// Add folds other's counters into s (aggregating per-request stats
+// into process-lifetime ones).
+func (s *Stats) Add(other *Stats) {
+	s.executed.Add(other.executed.Load())
+	s.hits.Add(other.hits.Load())
+	s.errors.Add(other.errors.Load())
+}
+
+// Config controls one Run.
+type Config struct {
+	// Cache, when non-nil, is consulted before and written after each
+	// cell; nil runs every cell.
+	Cache *Cache
+	// Workers bounds the pool (0 = GOMAXPROCS, clamped to the cell
+	// count).
+	Workers int
+	// Stats, when non-nil, accumulates counters across the run (it
+	// may be shared by several runs).
+	Stats *Stats
+	// OnCell, when non-nil, is invoked once per finished cell, from
+	// worker goroutines, as cells complete (completion order, not
+	// submission order). Callers that stream must synchronize inside
+	// the callback.
+	OnCell func(i int, c Cell, r core.Result, cached bool)
+}
+
+// Run executes every cell and returns their results in submission
+// order. Workers claim cells from an atomic cursor (work stealing:
+// a slow cell never blocks the queue behind a fixed partition), so
+// the schedule is nondeterministic but the output is not: out[i] is
+// cell i's result, a pure function of its key, regardless of worker
+// count or cache state.
+func Run(cells []Cell, cfg Config) []core.Result {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	out := make([]core.Result, len(cells))
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(cells) {
+				return
+			}
+			c := cells[i]
+			var r core.Result
+			cached := false
+			if cfg.Cache != nil {
+				r, cached = cfg.Cache.Get(c.Key)
+			}
+			if cached {
+				if cfg.Stats != nil {
+					cfg.Stats.hits.Add(1)
+				}
+			} else {
+				r = c.Compute()
+				if cfg.Stats != nil {
+					cfg.Stats.executed.Add(1)
+				}
+				if cfg.Cache != nil {
+					if err := cfg.Cache.Put(c.Key, r); err != nil && cfg.Stats != nil {
+						cfg.Stats.errors.Add(1)
+					}
+				}
+			}
+			out[i] = r
+			if cfg.OnCell != nil {
+				cfg.OnCell(i, c, r, cached)
+			}
+		}
+	}
+	if workers <= 1 {
+		work()
+		return out
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,64 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke for `rbexp serve` over real sockets.
+#
+# Starts a server on a loopback port with a fresh cache, submits the
+# families grid through POST /sweep, then:
+#
+#   1. diffs GET /tables/families against the checked-in golden JSON
+#      (the bytes must match `rbexp -exp families -json -seed 1`), and
+#   2. re-submits the identical grid and asserts the trailer reports
+#      zero cell executions — the whole answer came from the warm cache.
+#
+# The httptest suite in cmd/rbexp covers the same contracts in-process;
+# this script is the socket-level wiring check CI runs (`make
+# serve-smoke`): flag parsing, listener startup, NDJSON streaming over
+# a real connection. Requires curl (present on the CI runners).
+set -eu
+
+addr=127.0.0.1:18080
+cache=$(mktemp -d)
+out=$(mktemp -d)
+trap 'kill $server_pid 2>/dev/null || true; rm -rf "$cache" "$out" bin/rbexp-smoke' EXIT
+
+go build -o bin/rbexp-smoke ./cmd/rbexp
+./bin/rbexp-smoke serve -addr "$addr" -cache "$cache" &
+server_pid=$!
+
+# Wait for the listener (the server prints its banner before binding,
+# so poll the health endpoint rather than sleeping).
+i=0
+until curl -fsS "http://$addr/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -gt 50 ]; then
+    echo "serve-smoke: server did not come up on $addr" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+echo "== cold families grid =="
+curl -fsS -X POST "http://$addr/sweep" -d '{"exp":"families","seed":1}' \
+  >"$out/cold.ndjson"
+tail -n 1 "$out/cold.ndjson"
+grep -q '"done":true' "$out/cold.ndjson" || {
+  echo "serve-smoke: cold sweep stream had no done trailer" >&2
+  exit 1
+}
+
+echo "== aggregate tables vs golden =="
+curl -fsS "http://$addr/tables/families?seed=1" >"$out/families.json"
+diff -u cmd/rbexp/testdata/families_golden.json "$out/families.json" || {
+  echo "serve-smoke: /tables/families drifted from the golden" >&2
+  exit 1
+}
+
+echo "== warm re-submit must execute nothing =="
+curl -fsS -X POST "http://$addr/sweep" -d '{"exp":"families","seed":1}' \
+  >"$out/warm.ndjson"
+tail -n 1 "$out/warm.ndjson"
+tail -n 1 "$out/warm.ndjson" | grep -q '"executed":0' || {
+  echo "serve-smoke: warm re-submit recomputed cells" >&2
+  exit 1
+}
+
+echo "serve-smoke: OK"
